@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration: make ``common`` importable and collect
+the paper-style result tables the benches print."""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)

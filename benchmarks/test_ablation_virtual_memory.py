@@ -1,0 +1,140 @@
+"""Ablation: virtual vs stored α-memories (paper section 4.2).
+
+The paper's motivation for virtual α-memories: "if selection conditions
+have low selectivity … α-memories will contain a large amount of data
+that is redundant since it is already stored in base tables".  This bench
+sweeps the selection predicate's selectivity on a 2000-row relation and
+reports, for a stored and a virtual middle memory:
+
+* the materialised α-memory entries (storage the virtual node saves);
+* the per-token join-test time (the price the virtual node pays by
+  scanning or probing the base relation instead).
+
+Expected shape: storage savings grow linearly with the qualifying
+fraction; token time is comparable when an index supports the join probe
+(the "space for time" trade the paper describes).
+"""
+
+import time
+
+import pytest
+
+from repro import Database
+from common import emit
+
+ROWS = 2000
+SELECTIVITIES = (0.05, 0.25, 0.50, 0.90)
+
+RULE = ('define rule watch if emp.sal > {cutoff} '
+        'and emp.dno = dept.dno and dept.name = "d1" '
+        'then append to bench_log(name = emp.name)')
+
+
+def build(selectivity: float, policy: str, with_index: bool = True):
+    db = Database(virtual_policy=policy)
+    db.execute_script("""
+        create emp (name = text, sal = float8, dno = int4)
+        create dept (dno = int4, name = text)
+        create bench_log (name = text)
+    """)
+    emp = db.catalog.relation("emp")
+    for i in range(ROWS):
+        emp.insert((f"e{i}", float(i), i % 50))
+    for d in range(50):
+        db.catalog.relation("dept").insert((d, f"d{d}"))
+    if with_index:
+        db.execute("define index empdno on emp (dno) using hash")
+    cutoff = ROWS * (1.0 - selectivity)
+    db._rules_suspended = True
+    db.execute(RULE.format(cutoff=cutoff))
+    return db
+
+
+def token_time(db, repeats: int = 100) -> float:
+    """Time dept-side tokens, which join through the emp memory."""
+    tids = []
+    start = time.perf_counter()
+    for _ in range(repeats):
+        tids.append(db.hooks.insert("dept", (1, "d1")))
+    elapsed = time.perf_counter() - start
+    for tid in tids:
+        db.hooks.delete("dept", tid)
+    db.network.flush_dynamic()
+    return elapsed / repeats
+
+
+@pytest.mark.parametrize("selectivity", SELECTIVITIES)
+@pytest.mark.parametrize("policy", ["never", "always"])
+def test_dept_token_join(benchmark, selectivity, policy):
+    db = build(selectivity, policy)
+    tids = []
+
+    def run():
+        tids.append(db.hooks.insert("dept", (1, "d1")))
+
+    benchmark.pedantic(run, rounds=50, iterations=1, warmup_rounds=2)
+    for tid in tids:
+        db.hooks.delete("dept", tid)
+
+
+def test_virtual_memory_table(benchmark):
+    holder = {}
+
+    def run():
+        rows = []
+        for selectivity in SELECTIVITIES:
+            stored = build(selectivity, "never")
+            virtual = build(selectivity, "always")
+            rows.append((
+                selectivity,
+                stored.network.memory_entry_count("watch"),
+                virtual.network.memory_entry_count("watch"),
+                token_time(stored),
+                token_time(virtual),
+            ))
+        holder["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = holder["rows"]
+    lines = [f"Virtual vs stored α-memories ({ROWS}-row emp, indexed "
+             f"join attribute)",
+             f"{'selectivity':>11} | {'stored entries':>14} | "
+             f"{'virtual entries':>15} | {'stored token':>12} | "
+             f"{'virtual token':>13}"]
+    lines.append("-" * len(lines[1]))
+    for sel, s_entries, v_entries, s_tok, v_tok in rows:
+        lines.append(
+            f"{sel:>11.2f} | {s_entries:>14} | {v_entries:>15} | "
+            f"{s_tok * 1e6:>10.1f}us | {v_tok * 1e6:>11.1f}us")
+    emit("ablation_virtual_memory", "\n".join(lines))
+    # Shape: stored entries grow with selectivity; virtual stays at the
+    # dept-memory-only level, saving the emp fraction entirely.
+    stored_entries = [r[1] for r in rows]
+    virtual_entries = [r[2] for r in rows]
+    assert stored_entries[-1] > stored_entries[0]
+    assert all(v < 5 for v in virtual_entries)
+    assert stored_entries[-1] >= 0.9 * ROWS * SELECTIVITIES[-1]
+
+
+def test_virtual_memory_unindexed_cost(benchmark):
+    """Without an index on the join attribute the virtual node pays a
+    full relation scan per probe — the optimisation question the paper
+    poses at the end of section 4.2."""
+    holder = {}
+
+    def run():
+        indexed = build(0.5, "always", with_index=True)
+        unindexed = build(0.5, "always", with_index=False)
+        holder["indexed"] = token_time(indexed, repeats=30)
+        holder["unindexed"] = token_time(unindexed, repeats=30)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Virtual α-memory probe cost: index scan vs sequential scan",
+             f"{'access path':>12} | {'token time':>12}",
+             "-" * 29,
+             f"{'index':>12} | "
+             f"{holder['indexed'] * 1e6:>10.1f}us",
+             f"{'seq scan':>12} | "
+             f"{holder['unindexed'] * 1e6:>10.1f}us"]
+    emit("ablation_virtual_memory_index", "\n".join(lines))
+    assert holder["unindexed"] > holder["indexed"]

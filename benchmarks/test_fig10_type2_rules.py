@@ -1,0 +1,57 @@
+"""Figure 10: install / activate / token-test times, 2-tuple-variable
+rules (paper section 6).
+
+Type 2 rules add the join ``emp.dno = dept.dno``: activation now also
+loads a second α-memory and runs a two-way join to prime the P-node, and
+each matching token pays one TREAT join step.
+"""
+
+import pytest
+
+from common import (
+    RULE_COUNTS, activate_rules, bench_table_once, bench_token_test,
+    figure_table, install_rules, make_database)
+
+TYPE = 2
+
+
+@pytest.mark.parametrize("count", RULE_COUNTS)
+def test_installation(benchmark, count):
+    def setup():
+        return (make_database(),), {}
+
+    def run(db):
+        install_rules(db, count, TYPE)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("count", RULE_COUNTS)
+def test_activation(benchmark, count):
+    def setup():
+        db = make_database()
+        db._rules_suspended = True
+        install_rules(db, count, TYPE)
+        return (db,), {}
+
+    def run(db):
+        activate_rules(db, count, TYPE)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("count", RULE_COUNTS)
+def test_token_test(benchmark, count):
+    bench_token_test(benchmark, count, TYPE)
+
+
+def test_figure10_table(benchmark):
+    """Regenerate the paper's Figure 10 table."""
+
+    def check(rows):
+        tokens = [r[3] for r in rows]
+        assert tokens[-1] < tokens[0] * 4
+
+    bench_table_once(benchmark, lambda: figure_table(TYPE), "fig10",
+                     "Figure 10: two-tuple-variable rules (seconds)",
+                     check)

@@ -1,0 +1,60 @@
+"""Figure 11: install / activate / token-test times, 3-tuple-variable
+rules (paper section 6).
+
+Type 3 rules join emp to both dept and job; token tests pay a two-step
+TREAT join, and activation primes three α-memories plus a three-way
+P-node query per rule.  The cross-figure shape to preserve: token-test
+cost grows with the number of tuple variables (the paper saw 2–3 ms for
+all three types on a ~12 MIPS SPARCstation) but not with the number of
+rules.
+"""
+
+import pytest
+
+from common import (
+    RULE_COUNTS, activate_rules, bench_table_once, bench_token_test,
+    figure_table, install_rules, make_database)
+
+TYPE = 3
+
+
+@pytest.mark.parametrize("count", RULE_COUNTS)
+def test_installation(benchmark, count):
+    def setup():
+        return (make_database(),), {}
+
+    def run(db):
+        install_rules(db, count, TYPE)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("count", RULE_COUNTS)
+def test_activation(benchmark, count):
+    def setup():
+        db = make_database()
+        db._rules_suspended = True
+        install_rules(db, count, TYPE)
+        return (db,), {}
+
+    def run(db):
+        activate_rules(db, count, TYPE)
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("count", RULE_COUNTS)
+def test_token_test(benchmark, count):
+    bench_token_test(benchmark, count, TYPE)
+
+
+def test_figure11_table(benchmark):
+    """Regenerate the paper's Figure 11 table."""
+
+    def check(rows):
+        tokens = [r[3] for r in rows]
+        assert tokens[-1] < tokens[0] * 4
+
+    bench_table_once(benchmark, lambda: figure_table(TYPE), "fig11",
+                     "Figure 11: three-tuple-variable rules (seconds)",
+                     check)

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Inventory integrity monitor: the "safety and integrity alert" style
+application the paper's conclusion motivates.
+
+A warehouse tracks stock levels, orders and suppliers.  Active rules
+implement the business policy without any application polling:
+
+* reorder     — when stock falls below a product's reorder point, place
+                a purchase order with the cheapest supplier (a rule whose
+                action joins the P-node against two other relations);
+* no_oversell — orders larger than current stock are cut down to what is
+                available and the shortfall is logged;
+* audit_spike — transition rule: any single-transition stock change of
+                more than 500 units is recorded for audit;
+* obsolete    — on delete of a product, cancel its open purchase orders
+                (an on-delete rule binding the deleted tuple).
+
+Run with:  python examples/inventory_monitor.py
+"""
+
+from repro import Database
+
+
+def build_schema(db: Database) -> None:
+    db.execute_script("""
+        create product (pno = int4, name = text, stock = int4,
+                        reorder_point = int4)
+        create supplier (sno = int4, pno = int4, name = text,
+                         price = float8)
+        create purchase (pno = int4, supplier = text, quantity = int4)
+        create shortfall (pno = int4, requested = int4, shipped = int4)
+        create audit (pno = int4, before = int4, after = int4)
+        create cancelled (pno = int4, supplier = text)
+        create orders (ono = int4, pno = int4, quantity = int4)
+    """)
+
+
+def define_rules(db: Database) -> None:
+    # Reorder from the cheapest supplier when stock dips below the
+    # reorder point.  The supplier choice is expressed by a "no cheaper
+    # supplier exists" style join in the action's where clause.
+    db.execute("""
+        define rule reorder priority 5
+        if product.stock < product.reorder_point
+           and product.stock >= 0
+        then append to purchase(pno = product.pno,
+                                supplier = supplier.name,
+                                quantity = product.reorder_point * 2)
+             where supplier.pno = product.pno
+    """)
+
+    # Orders beyond available stock: ship what we can, log the rest.
+    db.execute("""
+        define rule no_oversell priority 9
+        if orders.pno = product.pno and orders.quantity > product.stock
+        then do
+            append to shortfall(pno = product.pno,
+                                requested = orders.quantity,
+                                shipped = product.stock)
+            replace orders (quantity = product.stock)
+        end
+    """)
+
+    # Audit any huge single-transition swing in stock.
+    db.execute("""
+        define rule audit_spike priority 8
+        if product.stock > previous product.stock + 500
+           or previous product.stock > product.stock + 500
+        then append to audit(pno = product.pno,
+                             before = previous product.stock,
+                             after = product.stock)
+    """)
+
+    # When a product is discontinued, cancel open purchase orders.
+    db.execute("""
+        define rule obsolete on delete product
+        then do
+            append to cancelled(pno = purchase.pno,
+                                supplier = purchase.supplier)
+                where purchase.pno = product.pno
+            delete purchase where purchase.pno = product.pno
+        end
+    """)
+
+
+def main() -> None:
+    db = Database()
+    build_schema(db)
+    define_rules(db)
+
+    db.execute_script("""
+        append product(pno=1, name="widget", stock=100, reorder_point=40)
+        append product(pno=2, name="gadget", stock=900, reorder_point=50)
+        append supplier(sno=1, pno=1, name="Acme", price=2.5)
+        append supplier(sno=2, pno=2, name="Bolt", price=4.0)
+    """)
+
+    # A sale drives widgets below the reorder point.
+    db.execute("replace product (stock = 30) where product.pno = 1")
+    print("== purchase orders after widgets dip to 30 ==")
+    print(db.query("retrieve (purchase.pno, purchase.supplier, "
+                   "purchase.quantity)"))
+    print()
+
+    # An order for more gadgets than we have.
+    db.execute("append orders(ono=1, pno=2, quantity=2000)")
+    print("== orders and shortfall after an oversized order ==")
+    print(db.query("retrieve (orders.ono, orders.quantity)"))
+    print(db.query("retrieve (shortfall.pno, shortfall.requested, "
+                   "shortfall.shipped)"))
+    print()
+
+    # A bulk delivery swings stock by more than 500 in one transition.
+    db.execute("replace product (stock = product.stock + 800) "
+               "where product.pno = 2")
+    print("== audit log after the bulk delivery ==")
+    print(db.query("retrieve (audit.pno, audit.before, audit.after)"))
+    print()
+
+    # Discontinue widgets: the open purchase order is cancelled.
+    db.execute("delete product where product.pno = 1")
+    print("== cancelled purchases after discontinuing widgets ==")
+    print(db.query("retrieve (cancelled.pno, cancelled.supplier)"))
+    print(db.query("retrieve (purchase.pno, purchase.supplier)"))
+    print()
+
+    print(f"rule firings: {db.firings}")
+
+
+if __name__ == "__main__":
+    main()

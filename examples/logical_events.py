@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Logical vs physical events: a tour of the paper's §2.2.2 semantics.
+
+Shows, for each of the four per-tuple life cycles (paper §4.3.1), which
+event rules fire — demonstrating that Ariel triggers on the *net effect*
+of a do…end block, not on the physical command sequence.
+
+Run with:  python examples/logical_events.py
+"""
+
+from repro import Database
+
+
+def fresh_db() -> Database:
+    db = Database()
+    db.execute_script("""
+        create emp (name = text, sal = float8)
+        create trace (event = text, who = text)
+        define rule on_append on append emp
+            then append to trace(event = "append", who = emp.name)
+        define rule on_replace on replace emp
+            then append to trace(event = "replace", who = emp.name)
+        define rule on_delete on delete emp
+            then append to trace(event = "delete", who = emp.name)
+    """)
+    return db
+
+
+def show(title: str, db: Database) -> None:
+    print(f"== {title} ==")
+    rows = db.relation_rows("trace")
+    if rows:
+        for event, who in rows:
+            print(f"   {event:8s} {who}")
+    else:
+        print("   (no events)")
+    print()
+
+
+def main() -> None:
+    # Case 1 (im*): insert + modifications = one logical append of the
+    # final value.
+    db = fresh_db()
+    db.execute('do '
+               'append emp(name="draft", sal=100) '
+               'replace emp (name="final") where emp.name = "draft" '
+               'replace emp (sal=200) where emp.name = "final" '
+               'end')
+    show("case 1: insert+modify+modify in one block -> append of 'final'",
+         db)
+
+    # Case 2 (im*d): insert then delete = nothing happened.
+    db = fresh_db()
+    db.execute('do '
+               'append emp(name="ghost", sal=1) '
+               'replace emp (sal=2) where emp.name = "ghost" '
+               'delete emp where emp.name = "ghost" '
+               'end')
+    show("case 2: insert+modify+delete in one block -> no events", db)
+
+    # Case 3 (m+): modifications of an existing tuple = one logical
+    # replace with the net attribute list.
+    db = fresh_db()
+    db.execute('append emp(name="worker", sal=100)')
+    db.execute("delete trace")      # drop the append event
+    db.execute('do '
+               'replace emp (sal=120) where emp.name = "worker" '
+               'replace emp (sal=140) where emp.name = "worker" '
+               'end')
+    show("case 3: two modifies in one block -> one replace event", db)
+
+    # Case 4 (m*d): modify then delete = one logical delete.
+    db = fresh_db()
+    db.execute('append emp(name="leaver", sal=100)')
+    db.execute("delete trace")
+    db.execute('do '
+               'replace emp (sal=999) where emp.name = "leaver" '
+               'delete emp where emp.name = "leaver" '
+               'end')
+    show("case 4: modify+delete in one block -> one delete event", db)
+
+    # Contrast: the same commands as separate transitions are separate
+    # physical events — each one is its own logical event.
+    db = fresh_db()
+    db.execute('append emp(name="loud", sal=1)')
+    db.execute('replace emp (sal=2) where emp.name = "loud"')
+    db.execute('delete emp where emp.name = "loud"')
+    show("contrast: the same operations as three transitions", db)
+
+    # The replace target-list gate: on replace emp(sal) vs (name).
+    db = Database()
+    db.execute_script("""
+        create emp (name = text, sal = float8)
+        create trace (event = text, who = text)
+        define rule sal_watch on replace emp(sal)
+            then append to trace(event = "sal-changed", who = emp.name)
+    """)
+    db.execute('append emp(name="ann", sal=100)')
+    db.execute('replace emp (name="Ann") where emp.name = "ann"')
+    db.execute('replace emp (sal=200) where emp.name = "Ann"')
+    # net-effect subtlety: raise then undo within one block = no event
+    db.execute('do '
+               'replace emp (sal=300) where emp.name = "Ann" '
+               'replace emp (sal=200) where emp.name = "Ann" '
+               'end')
+    show("replace(sal) gate: rename ignored, raise seen, "
+         "raise+undo ignored", db)
+
+
+if __name__ == "__main__":
+    main()

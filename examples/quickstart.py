@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Quickstart: an active database in ten minutes.
+
+Walks through the core Ariel workflow with the paper's running example:
+create relations, load data, query them, define rules with pattern /
+event / transition conditions, and watch the rules react to updates.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()          # the default A-TREAT network
+
+    # ------------------------------------------------------------------
+    # 1. Schema and data (the paper's emp / dept / job relations)
+    # ------------------------------------------------------------------
+    db.execute_script("""
+        create emp (name = text, age = int4, sal = float8,
+                    dno = int4, jno = int4)
+        create dept (dno = int4, name = text, building = text)
+        create job (jno = int4, title = text, paygrade = int4)
+
+        append dept(dno=1, name="Toy", building="A")
+        append dept(dno=2, name="Sales", building="B")
+        append job(jno=1, title="Clerk", paygrade=3)
+        append job(jno=2, title="Engineer", paygrade=6)
+
+        append emp(name="Ann", age=34, sal=52000, dno=2, jno=2)
+        append emp(name="Carl", age=28, sal=31000, dno=1, jno=1)
+    """)
+
+    # ------------------------------------------------------------------
+    # 2. Plain queries go through the usual optimizer/executor
+    # ------------------------------------------------------------------
+    result = db.query(
+        'retrieve (emp.name, dept.name) where emp.dno = dept.dno')
+    print("== employees and their departments ==")
+    print(result)
+    print()
+    print("== the plan the optimizer chose ==")
+    print(db.explain(
+        'retrieve (emp.name) where emp.dno = dept.dno '
+        'and dept.name = "Sales"'))
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. An event-based rule: nobody named Bob may be appended
+    #    (the paper's NoBobs, section 2.2.2)
+    # ------------------------------------------------------------------
+    db.execute('define rule NoBobs on append emp '
+               'if emp.name = "Bob" then delete emp')
+    db.execute('append emp(name="Bob", age=44, sal=60000, dno=2, jno=2)')
+    print("== after trying to append Bob ==")
+    print(db.query("retrieve (emp.name)"))
+    print()
+
+    # Logical events: appending X and renaming to Bob inside one
+    # do...end block is a single logical append of a Bob — NoBobs fires.
+    db.execute('do '
+               'append emp(name="X", age=27, sal=55000, dno=2, jno=1) '
+               'replace emp (name="Bob") where emp.name = "X" '
+               'end')
+    print("== after the sneaky do...end block ==")
+    print(db.query("retrieve (emp.name)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 4. A transition rule: flag raises above 10%
+    #    (the paper's raiselimit, section 2.3)
+    # ------------------------------------------------------------------
+    db.execute("create salaryerror (name = text, oldsal = float8, "
+               "newsal = float8)")
+    db.execute("define rule raiselimit "
+               "if emp.sal > 1.1 * previous emp.sal "
+               "then append to salaryerror(emp.name, previous emp.sal, "
+               "emp.sal)")
+    db.execute('replace emp (sal = 65000) where emp.name = "Ann"')  # +25%
+    db.execute('replace emp (sal = 32000) where emp.name = "Carl"')  # +3%
+    print("== salaryerror after the raises ==")
+    print(db.query("retrieve (salaryerror.name, salaryerror.oldsal, "
+                   "salaryerror.newsal)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. Rules compose: react to the error log itself
+    # ------------------------------------------------------------------
+    db.execute("create alerts (message = text)")
+    db.execute("define rule escalate on append salaryerror "
+               "then append to alerts(message = salaryerror.name)")
+    db.execute('replace emp (sal = 90000) where emp.name = "Ann"')  # +38%
+    print("== alerts (a rule triggered by a rule) ==")
+    print(db.query("retrieve (alerts.message)"))
+    print()
+
+    # ------------------------------------------------------------------
+    # 6. Peek inside the discrimination network
+    # ------------------------------------------------------------------
+    print("== network diagnostics ==")
+    print(f"network: {db.network.network_name}")
+    print(f"tokens processed: {db.network.tokens_processed}")
+    print(f"rule firings: {db.firings}")
+    for name in ("NoBobs", "raiselimit"):
+        memory = db.network.memory(name, "emp")
+        print(f"rule {name}: emp memory kind = {memory.kind_name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Stock ticker with asynchronous alert delivery.
+
+The paper's conclusion motivates "applications that can receive data from
+database triggers asynchronously (e.g., safety and integrity alert
+monitors, stock tickers)".  This example implements exactly that: price
+updates stream into a relation; transition rules detect spikes, crashes
+and all-time highs; and a monitoring application receives the alerts
+through the subscription API — after each rule cascade settles, never
+interleaved with it.
+
+Run with:  python examples/stock_ticker.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+    db.execute_script("""
+        create quote (symbol = text, price = float8, high = float8)
+        create spike_log (symbol = text, oldprice = float8,
+                          newprice = float8)
+    """)
+
+    # Rules: a >15% jump is a spike; a >15% drop is a crash (both
+    # transition conditions); new all-time highs update the high-water
+    # mark, which composes with the spike rule through the same update.
+    db.execute("""
+        define rule spike priority 5
+        if quote.price > 1.15 * previous quote.price
+        then append to spike_log(quote.symbol, previous quote.price,
+                                 quote.price)
+    """)
+    db.execute("""
+        define rule crash priority 5
+        if quote.price < 0.85 * previous quote.price
+        then append to spike_log(quote.symbol, previous quote.price,
+                                 quote.price)
+    """)
+    db.execute("""
+        define rule highwater priority 9
+        if quote.price > quote.high
+        then replace quote (high = quote.price)
+    """)
+
+    # The monitoring application: plain Python callbacks.
+    def on_spike(notification):
+        for match in notification.matches:
+            symbol, price, high = match["quote"]
+            old = match.previous["quote"][1]
+            direction = "▲ spike" if price > old else "▼ crash"
+            print(f"  [alert #{notification.sequence}] {direction} "
+                  f"{symbol}: {old:.2f} -> {price:.2f} "
+                  f"(all-time high {high:.2f})")
+
+    db.subscribe(on_spike, "spike")
+    db.subscribe(on_spike, "crash")
+
+    ticks = [
+        ("ACME", 100.0), ("BETA", 50.0),          # initial listings
+        ("ACME", 104.0),                           # drift: no alert
+        ("ACME", 130.0),                           # spike
+        ("BETA", 40.0),                            # crash
+        ("ACME", 128.0),                           # drift
+        ("BETA", 55.0),                            # spike (from 40)
+        ("ACME", 90.0),                            # crash
+    ]
+
+    print("== streaming ticks ==")
+    listed = set()
+    for symbol, price in ticks:
+        print(f"tick {symbol} @ {price:.2f}")
+        if symbol not in listed:
+            listed.add(symbol)
+            db.execute(f'append quote(symbol="{symbol}", price={price}, '
+                       f'high={price})')
+        else:
+            db.execute(f'replace quote (price = {price}) '
+                       f'where quote.symbol = "{symbol}"')
+
+    print()
+    print("== final quotes (with high-water marks) ==")
+    print(db.query("retrieve (quote.symbol, quote.price, quote.high) "
+                   "sort by quote.symbol"))
+    print()
+    print("== spike_log relation (the durable record) ==")
+    print(db.query("retrieve (spike_log.symbol, spike_log.oldprice, "
+                   "spike_log.newprice)"))
+    print()
+    print("== per-symbol alert statistics (aggregates) ==")
+    print(db.query("retrieve (spike_log.symbol, n = count(spike_log.all),"
+                   " biggest = max(spike_log.newprice))"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e .`` requires wheel for PEP 517 editable builds; offline
+environments can instead run ``python setup.py develop``.  All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

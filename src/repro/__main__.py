@@ -1,0 +1,5 @@
+"""``python -m repro`` launches the interactive Ariel shell."""
+
+from repro.cli import main
+
+raise SystemExit(main())

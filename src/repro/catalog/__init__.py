@@ -1,0 +1,6 @@
+"""Schema and system-catalog subpackage."""
+
+from repro.catalog.schema import Attribute, AttributeType, Schema
+from repro.catalog.catalog import Catalog, IndexInfo
+
+__all__ = ["Attribute", "AttributeType", "Schema", "Catalog", "IndexInfo"]

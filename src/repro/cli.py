@@ -1,0 +1,217 @@
+"""An interactive Ariel shell.
+
+Run with ``python -m repro`` (optionally passing script files to execute
+first).  Commands are the POSTQUEL/ARL language; backslash meta-commands
+inspect the system:
+
+=============  ====================================================
+``\\d``         list relations (or ``\\d name`` for one schema)
+``\\rules``     list rules and network statistics
+``\\rule name`` describe one rule's network and modified action
+``\\explain q`` show the plan for a data command
+``\\begin`` / ``\\commit`` / ``\\abort``  transaction control
+``\\net``       network diagnostics
+``\\trace``     the last rule firings
+``\\dump file`` write the database as an ARL script
+``\\load file`` replace the session database from a dump
+``\\q``         quit
+=============  ====================================================
+
+Multi-line input is supported: a command is executed when its line ends
+with ``;`` or when the line is blank; ``do … end`` blocks are gathered
+until ``end``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+from repro.core.introspect import describe_rule, network_summary
+from repro.db import Database
+from repro.errors import ArielError
+from repro.executor.executor import DmlResult, ResultSet
+
+PROMPT = "ariel> "
+CONTINUE_PROMPT = "....> "
+
+_BANNER = """\
+Ariel reproduction shell — POSTQUEL + ARL.  \\q quits, \\d lists
+relations, \\rules lists rules, \\rule <name> describes one.
+End a command with ';' or a blank line."""
+
+
+class Shell:
+    """Line-oriented REPL over a Database."""
+
+    def __init__(self, db: Database | None = None,
+                 out=sys.stdout):
+        self.db = db or Database()
+        self.out = out
+        self._buffer: list[str] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self, stdin=None) -> None:
+        if stdin is None:
+            stdin = sys.stdin       # bound at call time, not import time
+        self._print(_BANNER)
+        while True:
+            prompt = CONTINUE_PROMPT if self._buffer else PROMPT
+            self.out.write(prompt)
+            self.out.flush()
+            line = stdin.readline()
+            if not line:
+                break
+            if not self.feed(line.rstrip("\n")):
+                break
+
+    def feed(self, line: str) -> bool:
+        """Process one input line; returns False to quit."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("\\"):
+            return self._meta(stripped)
+        if not stripped:
+            if self._buffer:
+                self._execute("\n".join(self._buffer))
+                self._buffer.clear()
+            return True
+        self._buffer.append(line)
+        if self._complete(stripped):
+            self._execute("\n".join(self._buffer))
+            self._buffer.clear()
+        return True
+
+    def _complete(self, last_line: str) -> bool:
+        """Ready to execute?  A command ends with ';' (or a blank line,
+        handled by the caller), but never inside an open do … end."""
+        words = re.findall(r"\b(?:do|end)\b",
+                           " ".join(self._buffer).lower())
+        if words.count("do") > words.count("end"):
+            return False
+        return last_line.endswith(";")
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, text: str) -> None:
+        text = text.strip().rstrip(";").strip()
+        if not text:
+            return
+        try:
+            result = self.db.execute(text)
+        except ArielError as exc:
+            self._print(f"error: {exc}")
+            return
+        if isinstance(result, ResultSet):
+            self._print(str(result))
+            self._print(f"({len(result)} row(s))")
+        elif isinstance(result, DmlResult):
+            self._print(f"ok: {result.count} tuple(s) affected; "
+                        f"{self.db.firings} rule firing(s) so far")
+        else:
+            self._print("ok")
+
+    def _meta(self, line: str) -> bool:
+        command, _, argument = line.partition(" ")
+        argument = argument.strip()
+        try:
+            if command in ("\\q", "\\quit"):
+                return False
+            if command == "\\d":
+                self._describe_relations(argument)
+            elif command == "\\rules":
+                self._print(network_summary(self.db.manager))
+            elif command == "\\rule":
+                if not argument:
+                    self._print("usage: \\rule <name>")
+                else:
+                    self._print(describe_rule(self.db.manager, argument))
+            elif command == "\\explain":
+                self._print(self.db.explain(argument))
+            elif command == "\\begin":
+                self.db.begin()
+                self._print("transaction open")
+            elif command == "\\commit":
+                self.db.commit()
+                self._print("committed")
+            elif command == "\\abort":
+                self.db.abort()
+                self._print("aborted")
+            elif command == "\\net":
+                network = self.db.network
+                self._print(
+                    f"network={network.network_name} "
+                    f"tokens={network.tokens_processed} "
+                    f"firings={self.db.firings} "
+                    f"alpha-entries={network.memory_entry_count()}")
+            elif command == "\\trace":
+                if not self.db.firing_log:
+                    self._print("no firings recorded")
+                for record in self.db.firing_log[-20:]:
+                    self._print(str(record))
+            elif command == "\\dump":
+                if not argument:
+                    self._print("usage: \\dump <file>")
+                else:
+                    from repro import persist
+                    persist.dump(self.db, argument)
+                    self._print(f"dumped to {argument}")
+            elif command == "\\load":
+                if not argument:
+                    self._print("usage: \\load <file>")
+                else:
+                    from repro import persist
+                    self.db = persist.load(argument)
+                    self._print(f"loaded {argument} (fresh database)")
+            else:
+                self._print(f"unknown meta-command {command!r} "
+                            f"(try \\d, \\rules, \\rule, \\explain, "
+                            f"\\begin, \\commit, \\abort, \\net, "
+                            f"\\trace, \\dump, \\load, \\q)")
+        except (ArielError, OSError) as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def _describe_relations(self, name: str) -> None:
+        if name:
+            relation = self.db.catalog.relation(name)
+            self._print(f"{name} ({len(relation)} tuple(s))")
+            for attr in relation.schema:
+                self._print(f"  {attr.name:<20} {attr.type.value}")
+            for index in relation.indexes():
+                self._print(f"  index {index.name} on {index.attribute} "
+                            f"using {index.kind}")
+            return
+        relations = sorted(self.db.catalog.relations(),
+                           key=lambda r: r.name)
+        if not relations:
+            self._print("no relations")
+            return
+        for relation in relations:
+            self._print(f"{relation.name:<24} {len(relation):>6} "
+                        f"tuple(s), {len(relation.schema)} attribute(s)")
+
+    def _print(self, text: str) -> None:
+        self.out.write(text + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: run script files, then an interactive shell."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    db = Database()
+    shell = Shell(db)
+    for path in argv:
+        try:
+            with open(path) as handle:
+                db.execute_script(handle.read())
+            print(f"loaded {path}")
+        except (OSError, ArielError) as exc:
+            print(f"error loading {path}: {exc}", file=sys.stderr)
+            return 1
+    if sys.stdin is not None:
+        shell.run()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""The Ariel rule system: the paper's primary contribution.
+
+Subpackage layout (paper section in parentheses):
+
+* ``tokens`` / ``deltasets`` — the four token kinds with event specifiers
+  and the per-transition Δ-sets [I, M] that turn physical update
+  sequences into logical events (§2.2.2, §4.3.1);
+* ``alpha`` — the seven α-memory node kinds and the token×memory action
+  table (§4.3.3, Figure 5);
+* ``selection_index`` — the top-level selection predicate index over
+  interval skip lists (§4.1);
+* ``pnode`` — P-nodes holding the data matching each rule (§2.2.3);
+* ``treat`` — the A-TREAT join network with virtual α-memories and the
+  ProcessedMemories self-join protocol (§4.2);
+* ``rete`` — a classic Rete network, the comparison baseline;
+* ``agenda`` — the recognize-act cycle and conflict resolution (§2.2.3);
+* ``action_planner`` — query modification and rule-action planning
+  (§5.1–5.3);
+* ``manager`` — rule install/activate/deactivate lifecycle (§6).
+"""
+
+from repro.core.tokens import Token, TokenKind, EventSpecifier
+from repro.core.rules import CompiledRule
+from repro.core.manager import RuleManager
+
+__all__ = ["Token", "TokenKind", "EventSpecifier", "CompiledRule",
+           "RuleManager"]

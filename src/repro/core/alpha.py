@@ -1,0 +1,260 @@
+"""α-memory nodes and the token × memory action table (paper Figure 5).
+
+The paper identifies seven α-memory kinds — stored, virtual, dynamic-on,
+dynamic-trans, simple, simple-trans, simple-on — which factor cleanly into
+three orthogonal axes captured here:
+
+* **storage**: stored (materialised entries), *virtual* (predicate only,
+  answering joins by filtered base-relation scans — the A-TREAT idea), or
+  *simple* (single-variable rule: matches pass straight to the P-node);
+* **event gate**: the variable is bound by the rule's ``on`` clause and
+  only tokens carrying the matching event specifier bind it;
+* **transition gate**: the condition uses ``previous var.…`` and only
+  Δ tokens bind it.
+
+:func:`dispatch` is the action table: given a variable's gating and a
+token, it returns the memory operation to perform (insert an entry,
+delete by tuple id, or nothing).  One clarification to Figure 5, noted in
+DESIGN.md: at an ``on delete`` memory, a ``−`` token whose specifier is
+``delete`` *asserts* the event (inserts the tuple) so the rule can bind
+the deleted data; the figure's "delete t" row applies to the other
+specifiers, which retract prior assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.rules import VariableSpec
+from repro.core.tokens import Token, TokenKind
+from repro.lang.ast_nodes import EventKind, EventSpec
+from repro.storage.tuples import TupleId
+
+
+@dataclass(frozen=True)
+class MemoryEntry:
+    """One tuple (or transition pair) held by an α-memory."""
+
+    tid: TupleId
+    values: tuple
+    old_values: tuple | None = None
+
+
+@dataclass(frozen=True)
+class MemoryOp:
+    """The action the network must take for a token at one memory."""
+
+    op: str                       # 'insert' | 'delete'
+    entry: MemoryEntry | None = None
+    tid: TupleId | None = None
+
+
+def dispatch(spec: VariableSpec, token: Token) -> MemoryOp | None:
+    """The Figure-5 action table, parameterised by the variable's gates.
+
+    Returns None when the combination is a no-op ("don't care" entries).
+    The caller has already verified the token's values against the
+    memory's selection predicate for insertion-kind results.
+    """
+    if spec.is_transition:
+        return _dispatch_transition(spec, token)
+    if spec.event is not None:
+        return _dispatch_event(spec, token)
+    return _dispatch_pattern(token)
+
+
+def _dispatch_pattern(token: Token) -> MemoryOp | None:
+    if token.kind is TokenKind.PLUS:
+        return MemoryOp("insert", MemoryEntry(token.tid, token.values))
+    if token.kind is TokenKind.MINUS:
+        return MemoryOp("delete", tid=token.tid)
+    if token.kind is TokenKind.DELTA_PLUS:
+        # "insert newt": project the new half of the pair
+        return MemoryOp("insert", MemoryEntry(token.tid, token.values))
+    return MemoryOp("delete", tid=token.tid)        # Δ−: "delete newt"
+
+
+def _dispatch_transition(spec: VariableSpec,
+                         token: Token) -> MemoryOp | None:
+    if token.kind is TokenKind.DELTA_PLUS:
+        if not _event_matches(spec.event, token):
+            return None
+        return MemoryOp("insert", MemoryEntry(token.tid, token.values,
+                                              token.old_values))
+    if token.kind is TokenKind.DELTA_MINUS:
+        return MemoryOp("delete", tid=token.tid)
+    return None                # plain +/− can never match a transition
+
+
+def _dispatch_event(spec: VariableSpec, token: Token) -> MemoryOp | None:
+    kind = spec.event.kind
+    if kind is EventKind.APPEND:
+        if token.kind is TokenKind.PLUS and token.event is not None \
+                and token.event.kind is EventKind.APPEND:
+            return MemoryOp("insert", MemoryEntry(token.tid, token.values))
+        if token.kind is TokenKind.MINUS:
+            return MemoryOp("delete", tid=token.tid)
+        return None
+    if kind is EventKind.DELETE:
+        if token.kind is TokenKind.MINUS and token.event is not None \
+                and token.event.kind is EventKind.DELETE:
+            # Event assertion: bind the deleted tuple to the rule.
+            return MemoryOp("insert", MemoryEntry(token.tid, token.values))
+        return None
+    # on replace(target-list)
+    if token.kind is TokenKind.DELTA_PLUS:
+        if not _event_matches(spec.event, token):
+            return None
+        return MemoryOp("insert", MemoryEntry(token.tid, token.values,
+                                              token.old_values))
+    if token.kind in (TokenKind.DELTA_MINUS, TokenKind.MINUS):
+        return MemoryOp("delete", tid=token.tid)
+    return None
+
+
+def _event_matches(gate: EventSpec | None, token: Token) -> bool:
+    """Does a Δ+ token's event specifier satisfy an on-replace gate?
+
+    A gate with an attribute list only fires when the update touched at
+    least one listed attribute (paper section 4.3).  A gate of None (pure
+    transition condition) accepts any Δ+.
+    """
+    if gate is None:
+        return True
+    if token.event is None or token.event.kind is not EventKind.REPLACE:
+        return False
+    if not gate.attributes:
+        return True
+    return bool(set(gate.attributes) & set(token.event.attributes))
+
+
+class AlphaMemory:
+    """A materialised α-memory: entries keyed by tuple id.
+
+    Covers the stored, dynamic-on, dynamic-trans and simple kinds; the
+    virtual kind is :class:`VirtualAlphaMemory`.  For simple memories the
+    network routes entries straight to the P-node and this object stays
+    empty ("simple memories never contain a persistent collection",
+    paper §4.3.3).
+    """
+
+    is_virtual = False
+
+    def __init__(self, rule_name: str, spec: VariableSpec):
+        self.rule_name = rule_name
+        self.spec = spec
+        self._entries: dict[TupleId, MemoryEntry] = {}
+
+    @property
+    def kind_name(self) -> str:
+        """The paper's name for this memory's kind."""
+        prefix = "simple" if self.spec.is_simple else (
+            "dynamic" if self.spec.is_dynamic else "stored")
+        if self.spec.is_transition:
+            return f"{prefix}-trans-α" if prefix != "stored" \
+                else "dynamic-trans-α"
+        if self.spec.event is not None:
+            return f"{prefix}-on-α" if prefix != "stored" \
+                else "dynamic-on-α"
+        if self.spec.is_new:
+            return f"{prefix}-new-α" if prefix != "stored" \
+                else "dynamic-new-α"
+        return f"{prefix}-α"
+
+    def insert(self, entry: MemoryEntry) -> bool:
+        """Add an entry; returns False if the tid was already present
+        with the same values (idempotent re-insert)."""
+        existing = self._entries.get(entry.tid)
+        if existing == entry:
+            return False
+        self._entries[entry.tid] = entry
+        return True
+
+    def remove(self, tid: TupleId) -> MemoryEntry | None:
+        """Discard the entry for a tuple id, returning it if present."""
+        return self._entries.pop(tid, None)
+
+    def get(self, tid: TupleId) -> MemoryEntry | None:
+        return self._entries.get(tid)
+
+    def entries(self) -> Iterator[MemoryEntry]:
+        return iter(list(self._entries.values()))
+
+    def flush(self) -> None:
+        """Empty the memory (dynamic memories, after each transition's
+        rule processing)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"AlphaMemory({self.rule_name}/{self.spec.var}, "
+                f"{self.kind_name}, {len(self)} entries)")
+
+
+class VirtualAlphaMemory:
+    """A virtual α-memory: the A-TREAT space optimisation (paper §4.2).
+
+    Holds only the selection predicate; its conceptual contents are
+    derived on demand by scanning the base relation with the predicate as
+    a filter, optionally sharpened with an equality constraint substituted
+    from the token being joined ("the predicate can be modified by
+    substituting constants from a token … to make the predicate more
+    selective").  An index on the constrained attribute is used when one
+    exists.
+    """
+
+    is_virtual = True
+
+    def __init__(self, rule_name: str, spec: VariableSpec):
+        self.rule_name = rule_name
+        self.spec = spec
+        #: diagnostics: how many base-relation scans this memory answered
+        self.scan_count = 0
+
+    @property
+    def kind_name(self) -> str:
+        return "virtual-α"
+
+    def candidates(self, catalog, equality: tuple[int, object] | None = None
+                   ) -> Iterable[MemoryEntry]:
+        """The memory's conceptual contents, derived from the relation.
+
+        ``equality`` is an optional ``(position, value)`` constraint from
+        the join conjunct being evaluated; with an index on that attribute
+        the scan becomes an index probe.
+        """
+        self.scan_count += 1
+        relation = catalog.relation(self.spec.relation)
+        matches = self.spec.selection_matches
+        if equality is not None:
+            position, value = equality
+            if value is None:
+                return
+            attr = relation.schema.attributes[position].name
+            index = (relation.index_on(attr, "hash")
+                     or relation.index_on(attr, "btree"))
+            if index is not None:
+                for stored in relation.fetch(index.search(value)):
+                    if matches(stored.values, None):
+                        yield MemoryEntry(stored.tid, stored.values)
+                return
+            for stored in relation.scan():
+                if stored.values[position] == value \
+                        and matches(stored.values, None):
+                    yield MemoryEntry(stored.tid, stored.values)
+            return
+        for stored in relation.scan():
+            if matches(stored.values, None):
+                yield MemoryEntry(stored.tid, stored.values)
+
+    def __len__(self) -> int:
+        return 0        # stores nothing: that is the point
+
+    def flush(self) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return f"VirtualAlphaMemory({self.rule_name}/{self.spec.var})"

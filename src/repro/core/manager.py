@@ -1,0 +1,168 @@
+"""The rule manager: install / activate / deactivate lifecycle (paper §6).
+
+The paper's performance section separates three rule costs, and the
+manager keeps them separate operations:
+
+* **installation** — "storing a persistent copy of the rule syntax tree
+  in the rule catalog" (:meth:`RuleManager.install`);
+* **activation** — compiling the rule, building its discrimination
+  network structures, and priming: "running one one-variable query for
+  each tuple variable … plus running a query equivalent to the entire
+  rule condition to load the P-node" (:meth:`RuleManager.activate`);
+* **token testing** — routing an update's tokens through the network
+  (:meth:`RuleManager.process_token`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.catalog.catalog import Catalog
+from repro.core.agenda import Agenda
+from repro.core.network import DiscriminationNetwork
+from repro.core.pnode import FrozenMatches
+from repro.core.rules import CompiledRule
+from repro.core.selection_index import SelectionIndex
+from repro.core.tokens import Token
+from repro.core.treat import TreatNetwork
+from repro.errors import RuleError
+from repro.lang import ast_nodes as ast
+from repro.planner.optimizer import Optimizer
+
+
+class InstalledRule:
+    """Catalog record of an installed rule: its syntax tree plus its
+    compiled form once activated."""
+
+    def __init__(self, definition: ast.DefineRule):
+        self.definition = definition
+        self.compiled: CompiledRule | None = None
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def active(self) -> bool:
+        return self.compiled is not None
+
+    @property
+    def referenced_relations(self):
+        scope = getattr(self.definition, "condition_scope", {}) or {}
+        return frozenset(scope.values())
+
+    def __repr__(self) -> str:
+        state = "active" if self.active else "installed"
+        return f"InstalledRule({self.name!r}, {state})"
+
+
+class RuleManager:
+    """Owns the discrimination network, the agenda, and rule lifecycle."""
+
+    def __init__(self, catalog: Catalog,
+                 optimizer: Optimizer | None = None,
+                 network_cls: type[DiscriminationNetwork] = TreatNetwork,
+                 virtual_policy="auto",
+                 selection_index: SelectionIndex | None = None):
+        self.catalog = catalog
+        self.optimizer = optimizer or Optimizer(catalog)
+        self.agenda = Agenda()
+        self.network = network_cls(
+            catalog, self.optimizer,
+            selection_index or SelectionIndex(),
+            virtual_policy=virtual_policy,
+            on_match=self.agenda.notify)
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def install(self, definition: ast.DefineRule) -> InstalledRule:
+        """Store a (semantically analyzed) rule in the rule catalog."""
+        record = InstalledRule(definition)
+        self.catalog.store_rule(definition.name, record,
+                                definition.ruleset)
+        return record
+
+    def activate(self, name: str) -> CompiledRule:
+        """Compile the rule, build its network structures, and prime."""
+        record = self._record(name)
+        if record.active:
+            raise RuleError(f"rule {name!r} is already active")
+        compiled = CompiledRule(record.definition, self.catalog)
+        self.network.add_rule(compiled, prime=True)
+        record.compiled = compiled
+        return compiled
+
+    def deactivate(self, name: str) -> None:
+        """Tear down the rule's network structures; keep it installed."""
+        record = self._record(name)
+        if not record.active:
+            raise RuleError(f"rule {name!r} is not active")
+        self.network.remove_rule(name)
+        self.agenda.discard(name)
+        record.compiled = None
+
+    def remove(self, name: str) -> None:
+        """Drop a rule entirely (deactivating it first if needed)."""
+        record = self._record(name)
+        if record.active:
+            self.deactivate(name)
+        self.catalog.drop_rule(name)
+
+    def define(self, definition: ast.DefineRule,
+               activate: bool = True) -> InstalledRule:
+        """Install and (by default) immediately activate a rule."""
+        record = self.install(definition)
+        if activate:
+            self.activate(definition.name)
+        return record
+
+    # ------------------------------------------------------------------
+    # the match / conflict-resolution interface
+    # ------------------------------------------------------------------
+
+    def process_token(self, token: Token) -> None:
+        self.network.process_token(token)
+
+    def select_rule(self) -> CompiledRule | None:
+        """Conflict resolution: the next rule to fire, if any."""
+        return self.agenda.select(self.network.rules, self.network.pnode)
+
+    def consume_matches(self, rule: CompiledRule) -> FrozenMatches:
+        """Take the rule's whole P-node for a set-oriented firing."""
+        pnode = self.network.pnode(rule.name)
+        matches = pnode.take_all()
+        self.agenda.discard(rule.name)
+        return FrozenMatches(rule.name, rule.variables, matches)
+
+    def end_of_rule_processing(self) -> None:
+        """Flush dynamic memories once a transition's recognize-act
+        processing completes."""
+        self.network.flush_dynamic()
+        self.halted = False
+
+    def halt(self) -> None:
+        """An explicit ``halt`` executed in a rule action."""
+        self.halted = True
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def installed_rules(self) -> list[InstalledRule]:
+        return [r for r in self.catalog.rules().values()
+                if isinstance(r, InstalledRule)]
+
+    def active_rules(self) -> dict[str, CompiledRule]:
+        return dict(self.network.rules)
+
+    def rule(self, name: str) -> InstalledRule:
+        return self._record(name)
+
+    def _record(self, name: str) -> InstalledRule:
+        record = self.catalog.rule(name)
+        if not isinstance(record, InstalledRule):
+            raise RuleError(f"{name!r} is not a rule record")
+        return record

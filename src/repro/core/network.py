@@ -1,0 +1,314 @@
+"""Discrimination network base: token routing, memories, priming, flush.
+
+The shared machinery of the TREAT/A-TREAT and Rete networks:
+
+* building one α-memory per (rule, tuple variable) with the right kind
+  (stored / virtual / dynamic / simple) and registering its selection
+  anchor in the top-level :class:`~repro.core.selection_index
+  .SelectionIndex`;
+* routing a token: probe the selection index with the token's values,
+  verify each candidate memory's residual predicate, apply the Figure-5
+  :func:`~repro.core.alpha.dispatch` action, and hand insertions to the
+  subclass's join step;
+* priming at rule activation — "running one one-variable query for each
+  tuple variable in the rule condition to prime the α-memory nodes, plus
+  running a query equivalent to the entire rule condition to load the
+  P-node" (paper section 6), both through the ordinary query optimizer;
+* flushing dynamic memories (and the P-nodes fed by them) after each
+  transition's rule processing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.catalog.catalog import Catalog
+from repro.core.alpha import (
+    AlphaMemory, MemoryEntry, VirtualAlphaMemory, dispatch)
+from repro.core.pnode import Match, PNode
+from repro.core.rules import CompiledRule, VariableSpec
+from repro.core.selection_index import SelectionIndex
+from repro.core.tokens import Token
+from repro.errors import RuleError
+from repro.lang.expr import Bindings
+from repro.planner.optimizer import Optimizer
+
+#: "auto" virtual policy: make a pattern memory virtual when its selection
+#: keeps at least this fraction of the relation…
+_VIRTUAL_SELECTIVITY = 0.25
+#: …and the relation has at least this many tuples.
+_VIRTUAL_MIN_ROWS = 10
+
+VirtualPolicy = str | Callable[[VariableSpec], bool]
+
+
+class DiscriminationNetwork:
+    """Base class for the rule condition testing networks."""
+
+    #: subclasses override (used in benchmarks / repr)
+    network_name = "abstract"
+
+    def __init__(self, catalog: Catalog,
+                 optimizer: Optimizer | None = None,
+                 selection_index: SelectionIndex | None = None,
+                 virtual_policy: VirtualPolicy = "auto",
+                 on_match: Callable[[CompiledRule], None] | None = None):
+        self.catalog = catalog
+        self.optimizer = optimizer or Optimizer(catalog)
+        self.selection_index = selection_index or SelectionIndex()
+        self.virtual_policy = virtual_policy
+        self.on_match = on_match or (lambda rule: None)
+        self.rules: dict[str, CompiledRule] = {}
+        self._memories: dict[tuple[str, str],
+                             AlphaMemory | VirtualAlphaMemory] = {}
+        self._pnodes: dict[str, PNode] = {}
+        self._stamp = 0
+        #: diagnostics: tokens processed since construction
+        self.tokens_processed = 0
+
+    # ------------------------------------------------------------------
+    # rule lifecycle
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: CompiledRule, prime: bool = True) -> None:
+        """Build the rule's memories and optionally prime them."""
+        if rule.name in self.rules:
+            raise RuleError(f"rule {rule.name!r} already in network")
+        self.rules[rule.name] = rule
+        self._pnodes[rule.name] = PNode(rule.name, rule.variables)
+        for var in rule.variables:
+            spec = rule.specs[var]
+            memory = self._make_memory(rule, spec)
+            self._memories[(rule.name, var)] = memory
+            self.selection_index.add(spec.relation,
+                                     spec.analysis.anchor
+                                     if spec.analysis else None,
+                                     memory)
+        if prime:
+            self.prime_rule(rule)
+
+    def remove_rule(self, name: str) -> None:
+        """Tear down the rule's memories and P-node."""
+        rule = self.rules.pop(name, None)
+        if rule is None:
+            raise RuleError(f"rule {name!r} not in network")
+        for var in rule.variables:
+            memory = self._memories.pop((name, var))
+            self.selection_index.remove(memory)
+        del self._pnodes[name]
+
+    def _make_memory(self, rule: CompiledRule, spec: VariableSpec):
+        if self._wants_virtual(spec):
+            return VirtualAlphaMemory(rule.name, spec)
+        return AlphaMemory(rule.name, spec)
+
+    def _wants_virtual(self, spec: VariableSpec) -> bool:
+        """Decide stored vs virtual for a pattern (ungated) memory.
+
+        Virtual nodes only make sense for pattern conditions on
+        multi-variable rules: dynamic memories are tiny and transient,
+        and simple memories store nothing anyway.
+        """
+        if spec.is_dynamic or spec.is_simple:
+            return False
+        policy = self.virtual_policy
+        if callable(policy):
+            return bool(policy(spec))
+        if policy == "never":
+            return False
+        if policy == "always":
+            return True
+        if policy != "auto":
+            raise RuleError(f"unknown virtual policy {policy!r}")
+        stats = self.optimizer.stats
+        rows = stats.cardinality(spec.relation)
+        if rows < _VIRTUAL_MIN_ROWS:
+            return False
+        kept = stats.scan_cardinality(spec.relation, spec.var,
+                                      spec.selection_conjuncts)
+        return kept / rows >= _VIRTUAL_SELECTIVITY
+
+    # ------------------------------------------------------------------
+    # priming
+    # ------------------------------------------------------------------
+
+    def prime_rule(self, rule: CompiledRule) -> None:
+        """Load stored memories and the P-node from current data."""
+        for var in rule.variables:
+            spec = rule.specs[var]
+            memory = self._memories[(rule.name, var)]
+            if memory.is_virtual or spec.is_dynamic or spec.is_simple:
+                continue
+            relation = self.catalog.relation(spec.relation)
+            for stored in relation.scan():
+                if spec.selection_matches(stored.values, None):
+                    memory.insert(MemoryEntry(stored.tid, stored.values))
+        if rule.has_dynamic_variable:
+            # Event/transition/new-gated rules can only match data bound
+            # during a transition; nothing to load now.
+            self._after_prime(rule)
+            return
+        plan = self.optimizer.plan_variables(
+            rule.variables, rule.condition, rule.var_relations)
+        pnode = self._pnodes[rule.name]
+        ctx = _PrimeContext(self.catalog)
+        inserted = False
+        for bound in plan.rows(ctx, Bindings()):
+            parts = {var: MemoryEntry(bound.tids[var], bound.current[var])
+                     for var in rule.variables}
+            self._stamp += 1
+            if pnode.insert(Match.of(parts), self._stamp):
+                inserted = True
+        self._after_prime(rule)
+        if inserted:
+            self.on_match(rule)
+
+    def _after_prime(self, rule: CompiledRule) -> None:
+        """Subclass hook (Rete rebuilds its β chain here)."""
+
+    # ------------------------------------------------------------------
+    # token routing
+    # ------------------------------------------------------------------
+
+    def process_token(self, token: Token) -> None:
+        """Route one token through the network (paper Figure 5)."""
+        self.tokens_processed += 1
+        candidates = self.selection_index.probe(token.relation,
+                                                token.values)
+        # Deterministic processing order defines the sequential
+        # "ProcessedMemories" semantics for self-joins.
+        candidates.sort(key=lambda m: (m.rule_name, m.spec.var))
+        pending: dict[str, set[str]] = {}
+        for memory in candidates:
+            pending.setdefault(memory.rule_name, set()).add(
+                memory.spec.var)
+        deleted_rules: set[str] = set()
+        for memory in candidates:
+            rule = self.rules[memory.rule_name]
+            spec = memory.spec
+            op = dispatch(spec, token)
+            if op is None:
+                pending[rule.name].discard(spec.var)
+                continue
+            if op.op == "delete":
+                pending[rule.name].discard(spec.var)
+                if not memory.is_virtual and not spec.is_simple:
+                    memory.remove(op.tid)
+                if rule.name not in deleted_rules:
+                    deleted_rules.add(rule.name)
+                    self._pnodes[rule.name].delete_by_tid(op.tid)
+                    self._handle_delete(rule, op.tid)
+                continue
+            # insertion: verify the residual predicate before accepting
+            entry = op.entry
+            if not spec.residual_matches(entry.values, entry.old_values):
+                pending[rule.name].discard(spec.var)
+                continue
+            pending[rule.name].discard(spec.var)
+            if spec.is_simple:
+                # Simple memories pass matching data straight to the
+                # P-node (paper section 4.3.3).
+                self._stamp += 1
+                if self._pnodes[rule.name].insert(
+                        Match.of({spec.var: entry}), self._stamp):
+                    self.on_match(rule)
+                continue
+            self._handle_insert(rule, spec, memory, entry,
+                                pending_vars=pending[rule.name],
+                                token=token)
+
+    def _handle_insert(self, rule: CompiledRule, spec: VariableSpec,
+                       memory, entry: MemoryEntry,
+                       pending_vars: set[str], token: Token) -> None:
+        """Subclass hook: store the entry and seek new combinations.
+
+        ``pending_vars`` are this rule's variables that will receive the
+        same token later in the processing order — the ProcessedMemories
+        protocol: the token's own tuple must be excluded when consulting
+        their (virtual) memories, so self-joins count each combination
+        exactly once.
+        """
+        raise NotImplementedError
+
+    def _handle_delete(self, rule: CompiledRule, tid) -> None:
+        """Subclass hook after a deletion (Rete drops β partials here).
+
+        Called once per (rule, token); α-memory and P-node cleanup has
+        already happened.
+        """
+
+    # ------------------------------------------------------------------
+    # transition lifecycle
+    # ------------------------------------------------------------------
+
+    def flush_dynamic(self) -> None:
+        """Empty every dynamic memory and the P-nodes they feed.
+
+        Called after the recognize-act processing of each transition:
+        "the binding between the matching data and the condition should be
+        broken" (paper section 4.3.2).
+        """
+        for rule in self.rules.values():
+            if not rule.has_dynamic_variable:
+                continue
+            for var in rule.dynamic_variables:
+                self._memories[(rule.name, var)].flush()
+            self._pnodes[rule.name].clear()
+            self._after_flush(rule)
+
+    def _after_flush(self, rule: CompiledRule) -> None:
+        """Subclass hook (Rete rebuilds its β chain here)."""
+
+    # ------------------------------------------------------------------
+    # access / diagnostics
+    # ------------------------------------------------------------------
+
+    def pnode(self, rule_name: str) -> PNode:
+        return self._pnodes[rule_name]
+
+    def memory(self, rule_name: str, var: str):
+        return self._memories[(rule_name, var)]
+
+    def next_stamp(self) -> int:
+        self._stamp += 1
+        return self._stamp
+
+    def memory_entry_count(self, rule_name: str | None = None) -> int:
+        """Materialised α-memory entries (virtual nodes count zero) —
+        the storage the A-TREAT virtual-memory optimisation saves."""
+        total = 0
+        for (name, _), memory in self._memories.items():
+            if rule_name is None or name == rule_name:
+                total += len(memory)
+        return total
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({len(self.rules)} rules, "
+                f"{self.memory_entry_count()} α entries)")
+
+
+class _PrimeContext:
+    """Minimal execution context for priming queries (no hooks)."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+
+def equality_constraint(var: str, partial: dict,
+                        conjuncts) -> tuple[int, object] | None:
+    """Constant substitution into a virtual node's predicate (paper §4.2):
+    find an equi-join conjunct linking ``var`` to an already-bound
+    variable and return (position in var's tuple, the bound value) so the
+    virtual memory's base-relation scan can become an index probe.
+    """
+    for conjunct in conjuncts:
+        equi = conjunct.equijoin
+        if equi is None:
+            continue
+        if equi.left_var == var and equi.right_var in partial:
+            other = partial[equi.right_var]
+            return (equi.left_position, other.values[equi.right_position])
+        if equi.right_var == var and equi.left_var in partial:
+            other = partial[equi.left_var]
+            return (equi.right_position, other.values[equi.left_position])
+    return None

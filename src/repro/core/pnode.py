@@ -1,0 +1,126 @@
+"""P-nodes: the per-rule relations holding data matching rule conditions.
+
+"In Ariel, data matching the rule condition is stored in a temporary
+relation called the P-node" (paper §2.2.3).  Each entry binds every tuple
+variable of the rule to a concrete tuple — its TID, its current values,
+and (for transition/replace-bound variables) the values it had at the
+beginning of the transition, which is what lets rule actions reference
+``previous var.attr`` and lets ``replace'``/``delete'`` locate their
+targets by TID (paper §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.alpha import MemoryEntry
+from repro.lang.expr import Bindings
+from repro.storage.tuples import TupleId
+
+
+@dataclass(frozen=True)
+class Match:
+    """One P-node entry: a full binding of the rule's tuple variables."""
+
+    bindings: tuple[tuple[str, MemoryEntry], ...]   # (var, entry), sorted
+
+    @classmethod
+    def of(cls, parts: dict[str, MemoryEntry]) -> "Match":
+        return cls(tuple(sorted(parts.items())))
+
+    def entry(self, var: str) -> MemoryEntry:
+        for name, entry in self.bindings:
+            if name == var:
+                return entry
+        raise KeyError(var)
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.bindings)
+
+    def involves_tid(self, tid: TupleId) -> bool:
+        return any(entry.tid == tid for _, entry in self.bindings)
+
+    def extend(self, outer: Bindings) -> Bindings:
+        """Bind every variable of this match on top of ``outer``."""
+        bound = outer.child()
+        for var, entry in self.bindings:
+            bound.current[var] = entry.values
+            bound.tids[var] = entry.tid
+            if entry.old_values is not None:
+                bound.previous[var] = entry.old_values
+        return bound
+
+
+class PNode:
+    """The temporary relation of matches for one rule."""
+
+    def __init__(self, rule_name: str, variables: list[str]):
+        self.rule_name = rule_name
+        self.variables = list(variables)
+        self._matches: dict[tuple, Match] = {}
+        #: monotonically increasing stamp of the last insertion; the
+        #: agenda uses it for OPS5-style recency ordering
+        self.last_insert_stamp = 0
+
+    # ------------------------------------------------------------------
+
+    def insert(self, match: Match, stamp: int = 0) -> bool:
+        """Add a match; returns False if an identical binding existed."""
+        key = tuple(entry.tid for _, entry in match.bindings)
+        if key in self._matches and self._matches[key] == match:
+            return False
+        self._matches[key] = match
+        self.last_insert_stamp = max(self.last_insert_stamp, stamp)
+        return True
+
+    def delete_by_tid(self, tid: TupleId) -> int:
+        """Remove every match involving a tuple id (a − or Δ− arrived for
+        it); returns the number removed."""
+        doomed = [key for key, match in self._matches.items()
+                  if match.involves_tid(tid)]
+        for key in doomed:
+            del self._matches[key]
+        return len(doomed)
+
+    def matches(self) -> list[Match]:
+        return list(self._matches.values())
+
+    def take_all(self) -> list[Match]:
+        """Consume the whole P-node (set-oriented rule firing)."""
+        out = list(self._matches.values())
+        self._matches.clear()
+        return out
+
+    def clear(self) -> None:
+        self._matches.clear()
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __bool__(self) -> bool:
+        return bool(self._matches)
+
+    def __repr__(self) -> str:
+        return f"PNode({self.rule_name}, {len(self)} matches)"
+
+
+class FrozenMatches:
+    """A consumed set of matches, presented with the P-node interface the
+    :class:`~repro.planner.plans.PnodeScan` operator expects.
+
+    Rule actions run against the matches consumed at fire time, not the
+    live P-node, so an action's own updates cannot re-trigger binding
+    within the same firing.
+    """
+
+    def __init__(self, rule_name: str, variables: list[str],
+                 matches: list[Match]):
+        self.rule_name = rule_name
+        self.variables = list(variables)
+        self._matches = matches
+
+    def matches(self) -> list[Match]:
+        return self._matches
+
+    def __len__(self) -> int:
+        return len(self._matches)

@@ -1,0 +1,211 @@
+"""A Rete network, optionally with virtual α-memories.
+
+Rete (Forgy 1982) materialises β-memories — one per prefix of the rule's
+variable list — holding the partial joins.  A token entering α-memory *i*
+joins leftward against the level *i−1* β-memory and cascades rightward
+through the remaining α-memories, storing every surviving partial; a
+deletion removes all β partials (and P-node matches) involving the tuple.
+
+The paper notes the virtual-memory technique "could also be used in the
+Rete algorithm": with ``virtual_policy`` enabled, rightward cascade steps
+consult a virtual α by scanning (or index-probing, via constant
+substitution) its base relation, with the same sequential
+ProcessedMemories exclusion protocol as A-TREAT for self-joins.  The β
+state stays materialised either way — that is what distinguishes Rete
+from TREAT, and what the ``ablate-net`` benchmark measures.
+
+α-memory handling, selection-index routing, event and transition gating
+are all inherited from the shared base; this class only adds the β
+chain.  Dynamic rules rebuild their β chain after the flush at the end
+of each transition's rule processing.
+"""
+
+from __future__ import annotations
+
+from repro.core.alpha import MemoryEntry
+from repro.core.network import DiscriminationNetwork, equality_constraint
+from repro.core.pnode import Match
+from repro.core.rules import CompiledRule, JoinConjunct, VariableSpec
+from repro.core.tokens import Token
+from repro.lang.expr import Bindings
+from repro.storage.tuples import TupleId
+
+
+class _ReteState:
+    """The β chain of one rule."""
+
+    def __init__(self, rule: CompiledRule):
+        self.order: list[str] = list(rule.variables)
+        #: betas[i] holds partials over order[0..i], keyed by tid tuple
+        self.betas: list[dict[tuple, dict[str, MemoryEntry]]] = [
+            {} for _ in self.order]
+        #: conjuncts first evaluable at each level
+        self.level_conjuncts: list[list[JoinConjunct]] = []
+        bound: set[str] = set()
+        for var in self.order:
+            before = set(bound)
+            bound.add(var)
+            self.level_conjuncts.append(
+                [j for j in rule.joins
+                 if j.variables <= bound and not j.variables <= before])
+
+    def entry_count(self) -> int:
+        return sum(len(level) for level in self.betas)
+
+    def clear(self) -> None:
+        for level in self.betas:
+            level.clear()
+
+
+class ReteNetwork(DiscriminationNetwork):
+    """Rete with materialised β-memories (α-memories stored or virtual
+    per ``virtual_policy``; the ``Database(network="rete")`` default is
+    all-stored, the classic baseline)."""
+
+    network_name = "Rete"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._states: dict[str, _ReteState] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def add_rule(self, rule: CompiledRule, prime: bool = True) -> None:
+        self._states[rule.name] = _ReteState(rule)
+        super().add_rule(rule, prime)
+
+    def remove_rule(self, name: str) -> None:
+        super().remove_rule(name)
+        del self._states[name]
+
+    def _after_prime(self, rule: CompiledRule) -> None:
+        self._rebuild(rule)
+
+    def _after_flush(self, rule: CompiledRule) -> None:
+        self._rebuild(rule)
+
+    def _rebuild(self, rule: CompiledRule) -> None:
+        """Recompute the β chain from current α contents."""
+        state = self._states[rule.name]
+        state.clear()
+        if len(rule.variables) == 1:
+            return
+        first = self._memories[(rule.name, state.order[0])]
+        for entry in self._alpha_entries(first, {}, []):
+            self._cascade(rule, state, 0, {state.order[0]: entry},
+                          pending_vars=frozenset(), token=None,
+                          emit=False)
+
+    # ------------------------------------------------------------------
+    # token handling
+    # ------------------------------------------------------------------
+
+    def _handle_insert(self, rule: CompiledRule, spec: VariableSpec,
+                       memory, entry: MemoryEntry,
+                       pending_vars: set[str], token: Token) -> None:
+        if not memory.is_virtual:
+            if not memory.insert(entry):
+                return
+        if len(rule.variables) == 1:
+            return            # simple-α routed by the base class
+        state = self._states[rule.name]
+        i = state.order.index(spec.var)
+        pending = frozenset(pending_vars)
+        if i == 0:
+            self._cascade(rule, state, 0, {spec.var: entry}, pending,
+                          token)
+            return
+        bindings = Bindings()
+        self._bind_entry(bindings, spec.var, entry)
+        for left in list(state.betas[i - 1].values()):
+            for var, left_entry in left.items():
+                self._bind_entry(bindings, var, left_entry)
+            if all(j.evaluate(bindings) is True
+                   for j in state.level_conjuncts[i]):
+                partial = dict(left)
+                partial[spec.var] = entry
+                self._cascade(rule, state, i, partial, pending, token)
+            for var in left:
+                bindings.current.pop(var, None)
+                bindings.previous.pop(var, None)
+
+    def _cascade(self, rule: CompiledRule, state: _ReteState, level: int,
+                 partial: dict[str, MemoryEntry],
+                 pending_vars: frozenset[str], token: Token | None,
+                 emit: bool = True) -> None:
+        """Store a surviving partial at ``level`` and extend rightward."""
+        key = tuple(partial[v].tid for v in state.order[:level + 1])
+        state.betas[level][key] = partial
+        if level + 1 == len(state.order):
+            self._stamp += 1
+            if self._pnodes[rule.name].insert(Match.of(dict(partial)),
+                                              self._stamp) and emit:
+                self.on_match(rule)
+            return
+        next_var = state.order[level + 1]
+        conjuncts = state.level_conjuncts[level + 1]
+        memory = self._memories[(rule.name, next_var)]
+        bindings = Bindings()
+        for var, entry in partial.items():
+            self._bind_entry(bindings, var, entry)
+        for entry in self._alpha_entries(memory, partial, conjuncts,
+                                         pending_vars, token):
+            self._bind_entry(bindings, next_var, entry)
+            if all(j.evaluate(bindings) is True for j in conjuncts):
+                extended = dict(partial)
+                extended[next_var] = entry
+                self._cascade(rule, state, level + 1, extended,
+                              pending_vars, token, emit)
+            bindings.current.pop(next_var, None)
+            bindings.previous.pop(next_var, None)
+
+    def _alpha_entries(self, memory, partial, conjuncts,
+                       pending_vars: frozenset[str] = frozenset(),
+                       token: Token | None = None):
+        """An α-memory's (conceptual) contents for a rightward join step.
+
+        Virtual memories answer from the base relation, sharpened with an
+        equality constant when a bound equi-join conjunct allows, and —
+        the ProcessedMemories protocol — excluding the in-flight token's
+        own tuple when this memory has not yet processed it.
+        """
+        if not memory.is_virtual:
+            yield from memory.entries()
+            return
+        var = memory.spec.var
+        equality = equality_constraint(var, partial, conjuncts)
+        exclude = (token.tid if token is not None and var in pending_vars
+                   and token.relation == memory.spec.relation else None)
+        for entry in memory.candidates(self.catalog, equality):
+            if exclude is not None and entry.tid == exclude:
+                continue
+            yield entry
+
+    def _handle_delete(self, rule: CompiledRule, tid: TupleId) -> None:
+        state = self._states.get(rule.name)
+        if state is None:
+            return
+        for level in state.betas:
+            doomed = [key for key, partial in level.items()
+                      if any(e.tid == tid for e in partial.values())]
+            for key in doomed:
+                del level[key]
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def beta_entry_count(self, rule_name: str | None = None) -> int:
+        """Materialised β partials — the state TREAT avoids entirely."""
+        if rule_name is not None:
+            return self._states[rule_name].entry_count()
+        return sum(s.entry_count() for s in self._states.values())
+
+    @staticmethod
+    def _bind_entry(bindings: Bindings, var: str,
+                    entry: MemoryEntry) -> None:
+        bindings.current[var] = entry.values
+        if entry.old_values is not None:
+            bindings.previous[var] = entry.old_values

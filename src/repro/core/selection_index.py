@@ -1,0 +1,155 @@
+"""The top-level selection predicate index (paper section 4.1).
+
+"Ariel uses a special index optimized for testing selection conditions as
+the top layer in its discrimination network."  Each α-memory's selection
+predicate contributes its *anchor* — the tightest single-attribute
+interval constraint (point, open or closed interval) — to an interval
+index on that (relation, attribute); predicates with no indexable
+conjunct go on a per-relation residual list.  Probing with a tuple's
+values returns every memory whose anchor the tuple satisfies, and the
+caller then verifies each candidate's residual predicate.
+
+The interval index defaults to the interval skip list; the IBS tree or
+the naive :class:`LinearIntervalIndex` can be substituted (the
+``ablate-isl`` and ``scale`` benchmarks do exactly that).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from repro.intervals.interval import Interval
+from repro.intervals.skiplist import IntervalSkipList
+from repro.lang.predicates import AttrInterval
+
+
+class LinearIntervalIndex:
+    """Baseline 'no discrimination network' index: a flat list of
+    intervals scanned on every probe.  Exists so the benchmarks can show
+    what the interval skip list buys (paper §6: techniques without a
+    discrimination network "simply cannot compete")."""
+
+    def __init__(self):
+        self._intervals: list[Interval] = []
+
+    def insert(self, interval: Interval) -> None:
+        if interval in self._intervals:
+            raise ValueError(f"interval already present: {interval}")
+        self._intervals.append(interval)
+
+    def remove(self, interval: Interval) -> None:
+        self._intervals.remove(interval)
+
+    def stab(self, value) -> set[Interval]:
+        return {iv for iv in self._intervals if iv.contains_value(value)}
+
+    def stab_payloads(self, value) -> set[Hashable]:
+        return {iv.payload for iv in self._intervals
+                if iv.contains_value(value)}
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+
+class SelectionIndex:
+    """Routes tuple values to the α-memories whose anchors they satisfy."""
+
+    def __init__(self, index_factory: Callable[[], object] | None = None):
+        self._factory = index_factory or IntervalSkipList
+        # (relation, attribute) -> interval index of anchored targets
+        self._indexes: dict[tuple[str, str], object] = {}
+        # (relation, attribute) -> attribute position
+        self._positions: dict[tuple[str, str], int] = {}
+        # relation -> unanchored targets (always candidates)
+        self._unanchored: dict[str, list] = {}
+        # target -> how it was registered, for removal
+        self._registered: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+
+    def add(self, relation: str, anchor: AttrInterval | None,
+            target) -> None:
+        """Register a target (an α-memory) under its anchor interval, or
+        on the relation's residual list when it has none."""
+        key = id(target)
+        if key in self._registered:
+            raise ValueError(f"target already registered: {target!r}")
+        if anchor is None:
+            self._unanchored.setdefault(relation, []).append(target)
+            self._registered[key] = (relation, None, None, target)
+            return
+        index_key = (relation, anchor.attr)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = self._factory()
+            self._indexes[index_key] = index
+            self._positions[index_key] = anchor.position
+        interval = Interval(anchor.interval.low, anchor.interval.high,
+                            anchor.interval.low_closed,
+                            anchor.interval.high_closed,
+                            payload=_TargetRef(target))
+        index.insert(interval)
+        self._registered[key] = (relation, anchor.attr, interval, target)
+
+    def remove(self, target) -> None:
+        """Unregister a target."""
+        key = id(target)
+        try:
+            relation, attr, interval, kept = self._registered.pop(key)
+        except KeyError:
+            raise ValueError(f"target not registered: {target!r}") \
+                from None
+        if attr is None:
+            self._unanchored[relation].remove(kept)
+            return
+        self._indexes[(relation, attr)].remove(interval)
+
+    def probe(self, relation: str, values: tuple) -> list:
+        """Every registered target whose anchor accepts ``values``, plus
+        the relation's unanchored targets.  Null attribute values never
+        satisfy an anchor (SQL comparison semantics)."""
+        out: list = []
+        seen: set[int] = set()
+        for (index_relation, attr), index in self._indexes.items():
+            if index_relation != relation:
+                continue
+            value = values[self._positions[(index_relation, attr)]]
+            if value is None:
+                continue
+            for ref in index.stab_payloads(value):
+                target = ref.target
+                if id(target) not in seen:
+                    seen.add(id(target))
+                    out.append(target)
+        for target in self._unanchored.get(relation, ()):
+            if id(target) not in seen:
+                seen.add(id(target))
+                out.append(target)
+        return out
+
+    # ------------------------------------------------------------------
+
+    def anchored_count(self) -> int:
+        return sum(len(index) for index in self._indexes.values())
+
+    def unanchored_count(self) -> int:
+        return sum(len(v) for v in self._unanchored.values())
+
+    def __len__(self) -> int:
+        return len(self._registered)
+
+
+class _TargetRef:
+    """Identity-hashable wrapper so unhashable targets can ride inside
+    frozen Interval payloads."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target):
+        self.target = target
+
+    def __hash__(self) -> int:
+        return id(self.target)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _TargetRef) and other.target is self.target

@@ -1,0 +1,122 @@
+"""TREAT and A-TREAT: join condition testing without β state.
+
+TREAT (Miranker) keeps only α-memories: when a token enters a rule's
+α-memory, the network immediately joins it against the rule's other
+α-memories to find the new complete combinations, which go straight to
+the P-node.  Negative tokens simply delete from the α-memory and from the
+P-node — no β-memory maintenance at all.
+
+**A-TREAT** is this class with virtual α-memories enabled (the default
+``virtual_policy="auto"``): a virtual node stores no tuples, and the join
+step scans its base relation with the node's selection predicate as a
+filter — sharpened, when a bound equi-join conjunct allows, by
+substituting the token's constant and probing an index (paper §4.2).
+
+Self-join multiplicity (the paper's ProcessedMemories structure): a token
+matching several α-memories of one rule is handed to them in a fixed
+order.  Stored memories get sequential semantics for free — the token is
+not yet in the memories processed later.  Virtual memories answer from
+the base relation, where the mutation is already visible to *all* nodes
+at once, so while seeking from memory i the token's own tuple is excluded
+from any *not-yet-processed* virtual memory of the same rule.  The result
+is exactly the paper's invariant: "at every step, a virtual α-memory node
+implicitly contains exactly the same set of tokens as a stored α-memory
+node", so "if a token joins to itself, it does so exactly the right
+number of times".
+"""
+
+from __future__ import annotations
+
+from repro.core.alpha import MemoryEntry, VirtualAlphaMemory
+from repro.core.network import DiscriminationNetwork, equality_constraint
+from repro.core.pnode import Match
+from repro.core.rules import CompiledRule, JoinConjunct, VariableSpec
+from repro.core.tokens import Token
+from repro.lang.expr import Bindings
+
+
+class TreatNetwork(DiscriminationNetwork):
+    """The A-TREAT network (plain TREAT with ``virtual_policy="never"``)."""
+
+    network_name = "A-TREAT"
+
+    def _handle_insert(self, rule: CompiledRule, spec: VariableSpec,
+                       memory, entry: MemoryEntry,
+                       pending_vars: set[str], token: Token) -> None:
+        if not memory.is_virtual:
+            if not memory.insert(entry):
+                return        # identical entry already present: no-op
+        if len(rule.variables) == 1:
+            return            # single-variable rules are simple-α routed
+        self._seek(rule, spec.var, entry, pending_vars, token)
+
+    # ------------------------------------------------------------------
+    # the TREAT join step
+    # ------------------------------------------------------------------
+
+    def _seek(self, rule: CompiledRule, seed_var: str,
+              seed_entry: MemoryEntry, pending_vars: set[str],
+              token: Token) -> None:
+        """Find every new complete combination seeded by one entry."""
+        order = rule.join_order_from(seed_var)
+        partial: dict[str, MemoryEntry] = {seed_var: seed_entry}
+        bindings = Bindings()
+        self._bind(bindings, seed_var, seed_entry)
+        matched = self._extend(rule, order, 0, partial, bindings,
+                               pending_vars, token)
+        if matched:
+            self.on_match(rule)
+
+    def _extend(self, rule: CompiledRule, order: list[str], depth: int,
+                partial: dict[str, MemoryEntry], bindings: Bindings,
+                pending_vars: set[str], token: Token) -> bool:
+        if depth == len(order):
+            self._stamp += 1
+            return self._pnodes[rule.name].insert(
+                Match.of(dict(partial)), self._stamp)
+        var = order[depth]
+        bound = set(partial) | {var}
+        conjuncts = [j for j in rule.joins
+                     if j.variables <= bound
+                     and not j.variables <= set(partial)]
+        memory = self._memories[(rule.name, var)]
+        matched = False
+        for entry in self._candidates(memory, var, partial, conjuncts,
+                                      pending_vars, token):
+            self._bind(bindings, var, entry)
+            if all(j.evaluate(bindings) is True for j in conjuncts):
+                partial[var] = entry
+                if self._extend(rule, order, depth + 1, partial, bindings,
+                                pending_vars, token):
+                    matched = True
+                del partial[var]
+            self._unbind(bindings, var, entry)
+        return matched
+
+    def _candidates(self, memory, var: str,
+                    partial: dict[str, MemoryEntry],
+                    conjuncts: list[JoinConjunct],
+                    pending_vars: set[str], token: Token):
+        if not memory.is_virtual:
+            yield from memory.entries()
+            return
+        equality = equality_constraint(var, partial, conjuncts)
+        exclude = (token.tid if token is not None and var in pending_vars
+                   and token.relation == memory.spec.relation else None)
+        for entry in memory.candidates(self.catalog, equality):
+            if exclude is not None and entry.tid == exclude:
+                continue
+            yield entry
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _bind(bindings: Bindings, var: str, entry: MemoryEntry) -> None:
+        bindings.current[var] = entry.values
+        if entry.old_values is not None:
+            bindings.previous[var] = entry.old_values
+
+    @staticmethod
+    def _unbind(bindings: Bindings, var: str, entry: MemoryEntry) -> None:
+        bindings.current.pop(var, None)
+        bindings.previous.pop(var, None)

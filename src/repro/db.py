@@ -1,0 +1,337 @@
+"""The Ariel database facade: parse → analyze → plan → execute → rules.
+
+:class:`Database` wires the whole system together the way the paper's
+Figure 2 draws it: commands enter through the lexer/parser and semantic
+analyzer; data commands are planned by the query optimizer and run by the
+executor, whose mutations flow through transition hooks into the Δ-sets
+and the discrimination network; after each transition the recognize-act
+cycle (Figure 1) fires eligible rules, each firing planning its action
+with the rule action planner and executing it as a transition of its own.
+
+Typical use::
+
+    db = Database()
+    db.execute('create emp (name = text, sal = float8)')
+    db.execute('define rule NoBobs on append emp '
+               'if emp.name = "Bob" then delete emp')
+    db.execute('append emp(name = "Bob", sal = 1.0)')   # rule fires
+    db.query('retrieve (emp.name)').rows                # -> []
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.core.action_planner import ActionPlanner
+from repro.core.deltasets import DeltaSets
+from repro.core.subscriptions import Subscriber, SubscriptionHub
+from repro.core.manager import RuleManager
+from repro.core.rete import ReteNetwork
+from repro.core.rules import CompiledRule
+from repro.core.selection_index import SelectionIndex
+from repro.core.treat import TreatNetwork
+from repro.errors import (
+    ArielError, ExecutionError, RuleLoopError, TransactionError)
+from repro.executor.executor import (
+    DmlResult, ExecutionContext, Executor, ResultSet)
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_command, parse_script
+from repro.lang.semantic import SemanticAnalyzer
+from repro.planner.optimizer import Optimizer
+from repro.planner.plans import explain as explain_plan
+from repro.txn.transitions import TransitionHooks
+from repro.txn.undo import UndoLog
+
+_NETWORKS = {
+    "a-treat": (TreatNetwork, "auto"),
+    "treat": (TreatNetwork, "never"),
+    "rete": (ReteNetwork, "never"),
+}
+
+
+@dataclass(frozen=True)
+class FiringRecord:
+    """One entry of the rule-firing trace (``Database.firing_log``)."""
+
+    sequence: int
+    rule_name: str
+    priority: float
+    match_count: int
+
+    def __str__(self) -> str:
+        return (f"#{self.sequence} {self.rule_name} "
+                f"(priority {self.priority}, {self.match_count} "
+                f"match(es))")
+
+
+class Database:
+    """A single-user Ariel database instance.
+
+    Parameters
+    ----------
+    network:
+        ``"a-treat"`` (default; TREAT with virtual α-memories chosen
+        automatically), ``"treat"`` (all memories stored) or ``"rete"``.
+    virtual_policy:
+        Overrides the network default: ``"auto"``, ``"never"``,
+        ``"always"`` or a callable on
+        :class:`~repro.core.rules.VariableSpec`.
+    max_firings:
+        Bound on rule firings per triggering transition; exceeding it
+        raises :class:`~repro.errors.RuleLoopError`.
+    cache_action_plans:
+        Use the pre-planning strategy of paper §5.3 instead of the
+        default *always reoptimize*.
+    selection_index:
+        Override the top-level predicate index (for ablations).
+    """
+
+    def __init__(self, network: str = "a-treat",
+                 virtual_policy=None,
+                 max_firings: int = 1000,
+                 cache_action_plans: bool = False,
+                 selection_index: SelectionIndex | None = None):
+        try:
+            network_cls, default_policy = _NETWORKS[network.lower()]
+        except KeyError:
+            raise ArielError(
+                f"unknown network {network!r}; expected one of "
+                f"{sorted(_NETWORKS)}") from None
+        self.catalog = Catalog()
+        self.analyzer = SemanticAnalyzer(self.catalog)
+        self.optimizer = Optimizer(self.catalog)
+        self.manager = RuleManager(
+            self.catalog, self.optimizer, network_cls,
+            virtual_policy or default_policy, selection_index)
+        self.deltasets = DeltaSets()
+        self.undo = UndoLog()
+        self.hooks = TransitionHooks(self.catalog, self.deltasets,
+                                     self.manager.process_token, self.undo)
+        self.context = ExecutionContext(self.catalog, self.hooks)
+        self.executor = Executor(self.context, self.optimizer)
+        self.action_planner = ActionPlanner(self.catalog, self.optimizer,
+                                            cache_action_plans)
+        self.max_firings = max_firings
+        #: rule firings since construction (diagnostics)
+        self.firings = 0
+        #: trace of every firing, newest last (clear with
+        #: ``firing_log.clear()``); disable with ``trace_firings=False``
+        self.firing_log: list[FiringRecord] = []
+        self.trace_firings = True
+        #: asynchronous trigger delivery to applications (paper §8
+        #: future work); see :meth:`subscribe`
+        self.subscriptions = SubscriptionHub()
+        self._cycle_running = False
+        self._rules_suspended = False
+        self._in_transaction = False
+
+    # ------------------------------------------------------------------
+    # command execution
+    # ------------------------------------------------------------------
+
+    def execute(self, text: str):
+        """Parse, analyze and execute one command; returns its result
+        (a ResultSet for retrieve, a DmlResult for updates, else None)."""
+        command = self.analyzer.analyze(parse_command(text))
+        return self._dispatch(command)
+
+    def execute_script(self, text: str) -> list:
+        """Execute a sequence of commands; returns their results."""
+        results = []
+        for command in parse_script(text):
+            self.analyzer.analyze(command)
+            results.append(self._dispatch(command))
+        return results
+
+    def query(self, text: str) -> ResultSet:
+        """Execute a retrieve and return its ResultSet."""
+        result = self.execute(text)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError("query() expects a retrieve command")
+        return result
+
+    def explain(self, text: str) -> str:
+        """The physical plan the optimizer picks for a data command."""
+        command = self.analyzer.analyze(parse_command(text))
+        planned = self.optimizer.plan_command(command)
+        return explain_plan(planned.plan)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a transaction: subsequent commands can be aborted."""
+        if self._in_transaction:
+            raise TransactionError("transaction already open")
+        self._in_transaction = True
+        self.undo.begin()
+
+    def commit(self) -> None:
+        """Close the open transaction, keeping its effects."""
+        if not self._in_transaction:
+            raise TransactionError("no open transaction")
+        self._in_transaction = False
+        self.undo.commit()
+
+    def abort(self) -> None:
+        """Undo every mutation of the open transaction.
+
+        The inverses replay through the transition hooks, so α-memories
+        and P-nodes stay consistent; rule firing is suppressed while the
+        undo runs, and dynamic state is flushed afterwards.
+        """
+        if not self._in_transaction:
+            raise TransactionError("no open transaction")
+        self._in_transaction = False
+        self._rules_suspended = True
+        try:
+            for record in self.undo.take_reversed():
+                if record.op == "insert":
+                    self.hooks.delete(record.relation, record.tid)
+                elif record.op == "delete":
+                    self.hooks.restore(record.relation, record.tid,
+                                       record.before)
+                else:
+                    self.hooks.replace(record.relation, record.tid,
+                                       record.before)
+            self.deltasets.clear()
+            self.manager.end_of_rule_processing()
+            self.manager.agenda.clear()
+        finally:
+            self._rules_suspended = False
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, command: ast.Command):
+        if isinstance(command, ast.CreateRelation):
+            schema = Schema.of(**{c.name: c.type_name
+                                  for c in command.columns})
+            relation = self.catalog.create_relation(command.name, schema)
+            self.deltasets.register_schema(command.name, schema)
+            return None
+        if isinstance(command, ast.DestroyRelation):
+            self.catalog.destroy_relation(command.name)
+            self.action_planner.invalidate()
+            return None
+        if isinstance(command, ast.DefineIndex):
+            self.catalog.create_index(command.name, command.relation,
+                                      command.attribute, command.kind)
+            self.action_planner.invalidate()
+            return None
+        if isinstance(command, ast.RemoveIndex):
+            self.catalog.destroy_index(command.name)
+            self.action_planner.invalidate()
+            return None
+        if isinstance(command, ast.DefineRule):
+            self.manager.define(command, activate=True)
+            # Priming may have matched existing data; give the rule the
+            # opportunity to run, as after any transition.
+            self._run_rule_cycle()
+            return None
+        if isinstance(command, ast.RemoveRule):
+            self.manager.remove(command.name)
+            self.action_planner.invalidate(command.name)
+            return None
+        if isinstance(command, ast.ActivateRule):
+            self.manager.activate(command.name)
+            self._run_rule_cycle()
+            return None
+        if isinstance(command, ast.DeactivateRule):
+            self.manager.deactivate(command.name)
+            return None
+        if isinstance(command, ast.Halt):
+            raise ExecutionError(
+                "halt is only meaningful inside a rule action")
+        if isinstance(command, ast.Block):
+            return self._run_transition(command.commands)
+        return self._run_transition([command])
+
+    # ------------------------------------------------------------------
+    # transitions and the recognize-act cycle
+    # ------------------------------------------------------------------
+
+    def _run_transition(self, commands: list[ast.Command]):
+        """Execute commands as one transition, then let rules wake up."""
+        result = None
+        for command in commands:
+            planned = self.optimizer.plan_command(command)
+            result = self.executor.run(planned)
+        self.deltasets.clear()
+        self._run_rule_cycle()
+        return result
+
+    def _run_rule_cycle(self) -> None:
+        """The recognize-act cycle of paper Figure 1."""
+        if self._cycle_running or self._rules_suspended:
+            return
+        self._cycle_running = True
+        try:
+            firings = 0
+            while not self.manager.halted:
+                rule = self.manager.select_rule()
+                if rule is None:
+                    break
+                firings += 1
+                if firings > self.max_firings:
+                    raise RuleLoopError(
+                        f"rule processing exceeded {self.max_firings} "
+                        f"firings (last rule: {rule.name!r})")
+                self._fire(rule)
+            self.manager.end_of_rule_processing()
+        finally:
+            self._cycle_running = False
+        # Deliver trigger notifications only after the cycle settles, so
+        # subscribers always observe a consistent post-cascade state.
+        self.subscriptions.deliver()
+
+    def _fire(self, rule: CompiledRule) -> None:
+        """One act step: consume the P-node and run the action as a
+        transition of its own."""
+        matches = self.manager.consume_matches(rule)
+        if not len(matches):
+            return
+        self.firings += 1
+        if self.trace_firings:
+            self.firing_log.append(FiringRecord(
+                self.firings, rule.name, rule.priority, len(matches)))
+        if self.subscriptions.active:
+            self.subscriptions.record_firing(self.firings, rule.name,
+                                             matches)
+        for action in self.action_planner.plan_firing(rule, matches):
+            if action.is_halt:
+                self.manager.halt()
+                break
+            self.executor.run(action.planned)
+        self.deltasets.clear()
+
+    # ------------------------------------------------------------------
+    # trigger delivery (paper §8 future work)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback: Subscriber,
+                  rule_name: str | None = None) -> int:
+        """Receive a Notification after each firing of ``rule_name``
+        (or of any rule when None).  Delivery happens after the
+        recognize-act cycle settles; returns an unsubscribe token."""
+        return self.subscriptions.subscribe(callback, rule_name)
+
+    def unsubscribe(self, token: int) -> bool:
+        """Cancel a subscription made with :meth:`subscribe`."""
+        return self.subscriptions.unsubscribe(token)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def network(self):
+        return self.manager.network
+
+    def relation_rows(self, name: str) -> list[tuple]:
+        """All tuples of a relation (test/debug convenience)."""
+        return [s.values for s in self.catalog.relation(name).scan()]

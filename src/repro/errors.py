@@ -1,0 +1,76 @@
+"""Exception hierarchy for the Ariel reproduction.
+
+All library errors derive from :class:`ArielError` so callers can catch one
+base class.  The hierarchy mirrors the processing pipeline: lexing/parsing,
+semantic analysis, catalog/schema management, storage, planning/execution,
+and the rule system.
+"""
+
+from __future__ import annotations
+
+
+class ArielError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ParseError(ArielError):
+    """Raised by the lexer or parser on malformed command text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    available so front ends can point at the error.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class SemanticError(ArielError):
+    """Raised when a syntactically valid command fails semantic analysis.
+
+    Examples: unknown relation or attribute, type mismatch in an expression,
+    ``previous`` used outside a rule condition, an aggregate where none is
+    allowed.
+    """
+
+
+class CatalogError(ArielError):
+    """Raised for catalog violations: duplicate or missing relations,
+    indexes, rules or rulesets."""
+
+
+class StorageError(ArielError):
+    """Raised by the storage engine: dangling tuple identifiers, schema and
+    tuple arity mismatches, index inconsistencies."""
+
+
+class PlanError(ArielError):
+    """Raised when the optimizer cannot produce a plan for a command."""
+
+
+class ExecutionError(ArielError):
+    """Raised while interpreting a query plan (e.g. type errors that only
+    surface at run time, division by zero in an expression)."""
+
+
+class RuleError(ArielError):
+    """Base class for rule-system errors."""
+
+
+class RuleLoopError(RuleError):
+    """Raised when the recognize-act cycle exceeds the configured maximum
+    number of rule firings for a single triggering transition.
+
+    Production-rule programs can loop (a rule action re-triggering the same
+    rule); Ariel bounds the cycle so a run-away rule set surfaces as an error
+    instead of a hang.
+    """
+
+
+class TransactionError(ArielError):
+    """Raised for misuse of transactions or transition blocks (nested
+    ``do ... end`` blocks, commit without begin, and similar)."""

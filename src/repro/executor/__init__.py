@@ -1,0 +1,7 @@
+"""Query plan execution and DML application."""
+
+from repro.executor.executor import (
+    DirectHooks, ExecutionContext, Executor, MutationHooks, ResultSet)
+
+__all__ = ["DirectHooks", "ExecutionContext", "Executor", "MutationHooks",
+           "ResultSet"]

@@ -1,0 +1,467 @@
+"""The query plan executor.
+
+Executes :class:`~repro.planner.plans.Plan` trees and applies DML
+semantics on top of them:
+
+* **retrieve** — project result columns off the qualifying bindings;
+* **append** — evaluate the target expressions per qualifying binding and
+  insert;
+* **delete / replace** — materialise the qualifying target TIDs *first*,
+  then apply (avoiding the Halloween problem of an update rescanning its
+  own output), locating targets either by scan (ordinary commands) or via
+  the TIDs carried in P-node entries (``delete'`` / ``replace'`` after
+  query modification, paper section 5.1).
+
+Every mutation is routed through :class:`MutationHooks`.  The plain
+:class:`DirectHooks` applies straight to the heap; the transition manager
+in ``repro.txn`` substitutes hooks that also generate rule-network tokens,
+which is how "the Ariel rule system is tightly coupled with query and
+update processing" (paper abstract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import AttributeType, Schema
+from repro.errors import ExecutionError
+from repro.lang import ast_nodes as ast
+from repro.lang.expr import Bindings, compile_expr
+from repro.planner.optimizer import Optimizer, PlannedCommand
+from repro.storage.tuples import TupleId
+
+
+class MutationHooks:
+    """Interface through which all data mutations flow."""
+
+    def insert(self, relation_name: str, values: tuple) -> TupleId:
+        raise NotImplementedError
+
+    def delete(self, relation_name: str, tid: TupleId) -> tuple:
+        raise NotImplementedError
+
+    def replace(self, relation_name: str, tid: TupleId,
+                new_values: tuple) -> tuple:
+        raise NotImplementedError
+
+
+class DirectHooks(MutationHooks):
+    """Mutations applied directly to heap relations (no rule system)."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    def insert(self, relation_name: str, values: tuple) -> TupleId:
+        return self.catalog.relation(relation_name).insert(values)
+
+    def delete(self, relation_name: str, tid: TupleId) -> tuple:
+        return self.catalog.relation(relation_name).delete(tid)
+
+    def replace(self, relation_name: str, tid: TupleId,
+                new_values: tuple) -> tuple:
+        return self.catalog.relation(relation_name).replace(tid,
+                                                            new_values)
+
+
+class ExecutionContext:
+    """Runtime state a plan sees: the catalog plus mutation hooks."""
+
+    def __init__(self, catalog: Catalog,
+                 hooks: MutationHooks | None = None):
+        self.catalog = catalog
+        self.hooks = hooks or DirectHooks(catalog)
+
+
+@dataclass
+class ResultSet:
+    """The outcome of a retrieve: column names and rows."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        """All values of one result column."""
+        try:
+            i = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(f"no result column {name!r}") from None
+        return [row[i] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        """Rows as name -> value dicts."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __str__(self) -> str:
+        header = " | ".join(self.columns)
+        lines = [header, "-" * len(header)]
+        lines += [" | ".join(str(v) for v in row) for row in self.rows]
+        return "\n".join(lines)
+
+
+@dataclass
+class DmlResult:
+    """The outcome of an append/delete/replace: affected tuple count."""
+
+    count: int
+
+
+class Executor:
+    """Runs planned DML commands against an execution context."""
+
+    def __init__(self, context: ExecutionContext,
+                 optimizer: Optimizer | None = None):
+        self.context = context
+        self.optimizer = optimizer or Optimizer(context.catalog)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def run(self, planned: PlannedCommand):
+        command = planned.command
+        if isinstance(command, ast.Retrieve):
+            return self.run_retrieve(planned)
+        if isinstance(command, ast.Append):
+            return self.run_append(planned)
+        if isinstance(command, ast.Delete):
+            return self.run_delete(planned)
+        if isinstance(command, ast.Replace):
+            return self.run_replace(planned)
+        raise ExecutionError(
+            f"executor cannot run {type(command).__name__}")
+
+    # ------------------------------------------------------------------
+    # retrieve
+    # ------------------------------------------------------------------
+
+    def run_retrieve(self, planned: PlannedCommand) -> ResultSet:
+        command: ast.Retrieve = planned.command
+        if any(_contains_aggregate(col.expr) for col in command.targets):
+            return self._run_retrieve_aggregated(planned, command)
+        columns = []
+        evaluators = []
+        for i, col in enumerate(command.targets):
+            columns.append(self._result_name(col, i))
+            evaluators.append(compile_expr(col.expr))
+        sort_evaluators = [(compile_expr(k.expr), k.ascending)
+                           for k in command.sort_keys]
+        rows = []
+        keyed = []
+        for bound in planned.plan.rows(self.context, Bindings()):
+            row = tuple(ev(bound) for ev in evaluators)
+            if sort_evaluators:
+                keyed.append((row, [ev(bound)
+                                    for ev, _ in sort_evaluators]))
+            else:
+                rows.append(row)
+        if sort_evaluators:
+            # Stable multi-key sort: apply keys from least to most
+            # significant; nulls sort last in either direction.
+            for index in range(len(sort_evaluators) - 1, -1, -1):
+                ascending = sort_evaluators[index][1]
+                if ascending:
+                    keyed.sort(key=lambda pair, i=index: (
+                        pair[1][i] is None, pair[1][i]
+                        if pair[1][i] is not None else 0))
+                else:
+                    keyed.sort(key=lambda pair, i=index: (
+                        pair[1][i] is not None, pair[1][i]
+                        if pair[1][i] is not None else 0), reverse=True)
+            rows = [row for row, _ in keyed]
+        if command.unique:
+            seen = set()
+            deduped = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            rows = deduped
+        result = ResultSet(tuple(columns), rows)
+        if command.into is not None:
+            self._materialize_into(command.into, result)
+        return result
+
+    def _run_retrieve_aggregated(self, planned: PlannedCommand,
+                                 command: ast.Retrieve) -> ResultSet:
+        """Aggregated retrieve with POSTQUEL implicit grouping: the
+        aggregate-free targets are the group keys."""
+        columns = [self._result_name(col, i)
+                   for i, col in enumerate(command.targets)]
+        key_targets: list[tuple[int, object]] = []     # (pos, evaluator)
+        agg_targets: list[tuple[int, object]] = []     # (pos, post-eval)
+        aggregates: list[_Accumulator] = []
+        for i, col in enumerate(command.targets):
+            if _contains_aggregate(col.expr):
+                agg_targets.append(
+                    (i, _build_post_evaluator(col.expr, aggregates)))
+            else:
+                key_targets.append((i, compile_expr(col.expr)))
+
+        groups: dict[tuple, list] = {}
+        for bound in planned.plan.rows(self.context, Bindings()):
+            key = tuple(ev(bound) for _, ev in key_targets)
+            states = groups.get(key)
+            if states is None:
+                states = [acc.fresh() for acc in aggregates]
+                groups[key] = states
+            for acc, state in zip(aggregates, states):
+                acc.update(state, bound)
+        if not groups and not key_targets:
+            # a global aggregate over no rows still yields one row
+            groups[()] = [acc.fresh() for acc in aggregates]
+
+        rows = []
+        for key, states in groups.items():
+            values = [acc.result(state)
+                      for acc, state in zip(aggregates, states)]
+            row = [None] * len(command.targets)
+            for (pos, _), value in zip(key_targets, key):
+                row[pos] = value
+            for pos, post in agg_targets:
+                row[pos] = post(values)
+            rows.append(tuple(row))
+        if command.unique:
+            seen = set()
+            rows = [r for r in rows
+                    if r not in seen and not seen.add(r)]
+        result = ResultSet(tuple(columns), rows)
+        if command.into is not None:
+            self._materialize_into(command.into, result)
+        return result
+
+    def _materialize_into(self, relation_name: str,
+                          result: ResultSet) -> None:
+        """Create the target relation of ``retrieve into`` and fill it."""
+        columns = {}
+        for i, name in enumerate(result.columns):
+            sample = next((row[i] for row in result.rows
+                           if row[i] is not None), None)
+            columns[name] = _type_name_for(sample)
+        schema = Schema.of(**columns)
+        self.context.catalog.create_relation(relation_name, schema)
+        for row in result.rows:
+            self.context.hooks.insert(relation_name, row)
+
+    # ------------------------------------------------------------------
+    # append
+    # ------------------------------------------------------------------
+
+    def run_append(self, planned: PlannedCommand) -> DmlResult:
+        command: ast.Append = planned.command
+        relation = self.context.catalog.relation(command.relation)
+        schema = relation.schema
+        named = command.targets and command.targets[0].name is not None
+        evaluators = [(col.name, compile_expr(col.expr))
+                      for col in command.targets]
+        new_tuples = []
+        for bound in planned.plan.rows(self.context, Bindings()):
+            if named:
+                by_name = {name: ev(bound) for name, ev in evaluators}
+                values = tuple(by_name.get(attr.name) for attr in schema)
+            else:
+                values = tuple(ev(bound) for _, ev in evaluators)
+            new_tuples.append(values)
+        for values in new_tuples:
+            self.context.hooks.insert(command.relation, values)
+        return DmlResult(len(new_tuples))
+
+    # ------------------------------------------------------------------
+    # delete / replace
+    # ------------------------------------------------------------------
+
+    def run_delete(self, planned: PlannedCommand) -> DmlResult:
+        command: ast.Delete = planned.command
+        relation_name = self._target_relation(planned)
+        tids = self._collect_target_tids(planned, command.target_var)
+        relation = self.context.catalog.relation(relation_name)
+        applied = 0
+        for tid in tids:
+            # A tuple may have vanished between qualification and apply
+            # (another qualifying row deleted it, or a P-node entry went
+            # stale); skip it silently, as the paper's delete' does.
+            if relation.contains(tid):
+                self.context.hooks.delete(relation_name, tid)
+                applied += 1
+        return DmlResult(applied)
+
+    def run_replace(self, planned: PlannedCommand) -> DmlResult:
+        command: ast.Replace = planned.command
+        relation_name = self._target_relation(planned)
+        relation = self.context.catalog.relation(relation_name)
+        schema = relation.schema
+        evaluators = [(schema.position(col.name), compile_expr(col.expr))
+                      for col in command.assignments]
+        updates: list[tuple[TupleId, list[tuple[int, object]]]] = []
+        seen: set[TupleId] = set()
+        for bound in planned.plan.rows(self.context, Bindings()):
+            tid = bound.tids.get(command.target_var)
+            if tid is None:
+                raise ExecutionError(
+                    f"no TID bound for replace target "
+                    f"{command.target_var!r}")
+            if tid in seen:
+                continue
+            seen.add(tid)
+            updates.append(
+                (tid, [(pos, ev(bound)) for pos, ev in evaluators]))
+        applied = 0
+        for tid, assignments in updates:
+            if not relation.contains(tid):
+                continue
+            old = list(relation.get(tid))
+            for pos, value in assignments:
+                old[pos] = value
+            self.context.hooks.replace(relation_name, tid, tuple(old))
+            applied += 1
+        return DmlResult(applied)
+
+    def _collect_target_tids(self, planned: PlannedCommand,
+                             target_var: str) -> list[TupleId]:
+        tids: list[TupleId] = []
+        seen: set[TupleId] = set()
+        for bound in planned.plan.rows(self.context, Bindings()):
+            tid = bound.tids.get(target_var)
+            if tid is None:
+                raise ExecutionError(
+                    f"no TID bound for target variable {target_var!r}")
+            if tid not in seen:
+                seen.add(tid)
+                tids.append(tid)
+        return tids
+
+    def _target_relation(self, planned: PlannedCommand) -> str:
+        command = planned.command
+        relation = planned.scope.get(command.target_var)
+        if relation is None:
+            raise ExecutionError(
+                f"unresolved target variable {command.target_var!r}")
+        return relation
+
+    @staticmethod
+    def _result_name(col: ast.ResultColumn, position: int) -> str:
+        if col.name is not None:
+            return col.name
+        if isinstance(col.expr, ast.AttrRef):
+            return col.expr.attr
+        if isinstance(col.expr, ast.AggregateCall):
+            return col.expr.func
+        return f"column{position + 1}"
+
+
+# ----------------------------------------------------------------------
+# aggregation machinery
+# ----------------------------------------------------------------------
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.AggregateCall):
+        return True
+    if isinstance(expr, ast.BinOp):
+        return (_contains_aggregate(expr.left)
+                or _contains_aggregate(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    return False
+
+
+class _Accumulator:
+    """State machine for one aggregate call.
+
+    ``fresh()`` makes a per-group state list; ``update`` folds one input
+    row in; ``result`` finalises.  Null inputs are skipped (SQL
+    semantics); empty inputs yield None except for count, which yields 0.
+    """
+
+    def __init__(self, func: str, argument):
+        self.func = func
+        # count(var.all) counts rows; evaluator None marks that case
+        self._evaluate = (None if isinstance(argument, ast.AllRef)
+                          else compile_expr(argument))
+
+    def fresh(self) -> list:
+        return [0, None]          # [count, value]
+
+    def update(self, state: list, bound: Bindings) -> None:
+        if self._evaluate is None:
+            state[0] += 1
+            return
+        value = self._evaluate(bound)
+        if value is None:
+            return
+        state[0] += 1
+        if self.func == "count":
+            return
+        if self.func in ("sum", "avg"):
+            state[1] = value if state[1] is None else state[1] + value
+        elif self.func == "min":
+            if state[1] is None or value < state[1]:
+                state[1] = value
+        elif self.func == "max":
+            if state[1] is None or value > state[1]:
+                state[1] = value
+
+    def result(self, state: list):
+        if self.func == "count":
+            return state[0]
+        if self.func == "avg":
+            if state[0] == 0:
+                return None
+            return state[1] / state[0]
+        return state[1]
+
+
+def _build_post_evaluator(expr: ast.Expr, aggregates: list[_Accumulator]):
+    """Compile an aggregate-containing target into a closure over the
+    list of finalised aggregate values (bare attribute references were
+    rejected by semantic analysis)."""
+    from repro.lang.expr import _ARITHMETIC, _COMPARATORS
+
+    if isinstance(expr, ast.AggregateCall):
+        index = len(aggregates)
+        aggregates.append(_Accumulator(expr.func, expr.argument))
+        return lambda values: values[index]
+    if isinstance(expr, ast.Const):
+        constant = expr.value
+        return lambda values: constant
+    if isinstance(expr, ast.UnaryOp):
+        inner = _build_post_evaluator(expr.operand, aggregates)
+        if expr.op == "-":
+            return lambda values: (None if inner(values) is None
+                                   else -inner(values))
+        return lambda values: (None if inner(values) is None
+                               else not inner(values))
+    if isinstance(expr, ast.BinOp):
+        left = _build_post_evaluator(expr.left, aggregates)
+        right = _build_post_evaluator(expr.right, aggregates)
+        op = _ARITHMETIC.get(expr.op) or _COMPARATORS.get(expr.op)
+        if op is None:
+            raise ExecutionError(
+                f"operator {expr.op!r} not supported over aggregates")
+
+        def combine(values):
+            lhs = left(values)
+            if lhs is None:
+                return None
+            rhs = right(values)
+            if rhs is None:
+                return None
+            return op(lhs, rhs)
+        return combine
+    raise ExecutionError(
+        f"cannot evaluate {type(expr).__name__} over aggregates")
+
+
+def _type_name_for(sample) -> str:
+    if isinstance(sample, bool):
+        return "bool"
+    if isinstance(sample, int):
+        return "int4"
+    if isinstance(sample, float):
+        return "float8"
+    return "text"

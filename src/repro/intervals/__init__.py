@@ -1,0 +1,20 @@
+"""Interval indexes for the selection-predicate discrimination network.
+
+The paper's top-level network tests single-relation selection conditions
+with an interval index: the *interval binary search tree* (IBS tree,
+Hanson & Chaabouni 1990) originally, later the *interval skip list*
+(Hanson 1991), which "is much easier to implement than the IBS tree and
+performs as well" (paper section 4.1).  Both answer stabbing queries —
+"report every stored interval that contains a query point" — and both are
+implemented here.
+"""
+
+from repro.intervals.interval import (
+    Interval,
+    NEG_INF,
+    POS_INF,
+)
+from repro.intervals.skiplist import IntervalSkipList
+from repro.intervals.ibstree import IBSTree
+
+__all__ = ["Interval", "NEG_INF", "POS_INF", "IntervalSkipList", "IBSTree"]

@@ -1,0 +1,23 @@
+"""The POSTQUEL-subset query language plus the Ariel Rule Language (ARL).
+
+Ariel "chose to support the relational data model and provide a subset of
+the POSTQUEL query language of POSTGRES" extended "with a production-rule
+language called the Ariel Rule Language" (paper section 2).  This package
+implements the lexer, parser, abstract syntax, semantic analyzer and
+expression machinery for that language.
+"""
+
+from repro.lang.lexer import Lexer, Token
+from repro.lang.parser import Parser, parse_command, parse_script
+from repro.lang.semantic import SemanticAnalyzer
+from repro.lang import ast_nodes as ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "Parser",
+    "parse_command",
+    "parse_script",
+    "SemanticAnalyzer",
+    "ast",
+]

@@ -1,0 +1,173 @@
+"""Tokenizer for the POSTQUEL subset and ARL.
+
+Keywords are case-insensitive (normalised to lower case); identifiers are
+case-sensitive.  Strings use double quotes with backslash escapes, matching
+the paper's examples (``dept.name = "Sales"``).  Comments run from ``--``
+or ``#`` to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset({
+    "create", "destroy", "append", "delete", "replace", "retrieve",
+    "into", "to", "from", "where", "in", "define", "remove", "rule",
+    "index", "on", "if", "then", "priority", "do", "end", "using",
+    "and", "or", "not", "previous", "new", "true", "false", "null",
+    "activate", "deactivate", "halt", "sort", "by", "asc", "desc",
+    "unique",
+})
+
+#: multi-character operators first so maximal munch applies
+OPERATORS = ("!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/",
+             "(", ")", ",", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str          # 'keyword' | 'ident' | 'number' | 'string' | 'op'
+                       # | 'eof'
+    value: object
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        if self.kind == "eof":
+            return "<end of input>"
+        return repr(self.value)
+
+
+class Lexer:
+    """Converts command text into a token stream."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input, ending with a single EOF token."""
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.kind == "eof":
+                return out
+
+    # ------------------------------------------------------------------
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def _skip_trivia(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n;":
+                # A stray semicolon is treated as whitespace: scripts may
+                # separate commands with either newlines or semicolons.
+                self._advance()
+            elif ch == "#" or self.text.startswith("--", self.pos):
+                while self.pos < len(self.text) \
+                        and self.text[self.pos] != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.text):
+            return Token("eof", None, self.line, self.column)
+        line, column = self.line, self.column
+        ch = self._peek()
+        if ch == '"':
+            return self._string(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._number(line, column)
+        if ch.isalpha() or ch == "_":
+            return self._word(line, column)
+        for op in OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, line, column)
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+    def _string(self, line: int, column: int) -> Token:
+        self._advance()   # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise ParseError("unterminated string literal", line, column)
+            if ch == "\\":
+                escape = self._peek(1)
+                mapped = {"n": "\n", "t": "\t", '"': '"',
+                          "\\": "\\"}.get(escape)
+                if mapped is None:
+                    raise ParseError(f"bad escape \\{escape}",
+                                     self.line, self.column)
+                chars.append(mapped)
+                self._advance(2)
+            elif ch == '"':
+                self._advance()
+                return Token("string", "".join(chars), line, column)
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def _number(self, line: int, column: int) -> Token:
+        start = self.pos
+        saw_dot = False
+        saw_exp = False
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not saw_dot and not saw_exp \
+                    and self._peek(1).isdigit():
+                saw_dot = True
+                self._advance()
+            elif ch in "eE" and not saw_exp and (
+                    self._peek(1).isdigit()
+                    or (self._peek(1) in "+-" and self._peek(2).isdigit())):
+                saw_exp = True
+                self._advance(2 if self._peek(1) in "+-" else 1)
+            else:
+                break
+        text = self.text[start:self.pos]
+        value: object
+        if saw_dot or saw_exp:
+            value = float(text)
+        else:
+            value = int(text)
+        return Token("number", value, line, column)
+
+    def _word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self.pos < len(self.text) and (self._peek().isalnum()
+                                             or self._peek() == "_"):
+            self._advance()
+        word = self.text[start:self.pos]
+        if word.lower() in KEYWORDS:
+            return Token("keyword", word.lower(), line, column)
+        return Token("ident", word, line, column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` fully."""
+    return Lexer(text).tokens()

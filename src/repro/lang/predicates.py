@@ -1,0 +1,280 @@
+"""Predicate analysis: conjunct splitting, selection/join classification,
+and interval extraction.
+
+Used by two clients:
+
+* the **query optimizer**, to push selections to scans and pick join
+  predicates/access paths;
+* the **rule network builder**, to split a rule condition into per-variable
+  selection predicates and inter-variable join predicates, and to find the
+  interval form (``c1 < r.a <= c2``, ``c = r.a``, ``c < r.a`` …) that the
+  top-level selection predicate index can index (paper section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SemanticError
+from repro.intervals.interval import Interval, NEG_INF, POS_INF, key_lt
+from repro.lang import ast_nodes as ast
+from repro.lang.expr import constant_value, variables_of
+
+
+def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[ast.Expr]) -> ast.Expr | None:
+    """Rebuild an AND tree from conjuncts (None when empty)."""
+    result: ast.Expr | None = None
+    for conjunct in conjuncts:
+        result = (conjunct if result is None
+                  else ast.BinOp("and", result, conjunct))
+    return result
+
+
+@dataclass(frozen=True)
+class EquiJoinPredicate:
+    """``left_var.left_attr = right_var.right_attr`` between two variables.
+
+    Positions are resolved schema positions; the optimizer and the TREAT
+    join step use them for index probes and hash keys.
+    """
+
+    left_var: str
+    left_attr: str
+    left_position: int
+    right_var: str
+    right_attr: str
+    right_position: int
+
+    def reversed(self) -> "EquiJoinPredicate":
+        return EquiJoinPredicate(
+            self.right_var, self.right_attr, self.right_position,
+            self.left_var, self.left_attr, self.left_position)
+
+
+@dataclass
+class ConditionGraph:
+    """A rule condition (or WHERE clause) split per the TREAT layout.
+
+    * ``selections[var]`` — conjuncts referencing only ``var``;
+    * ``joins`` — conjuncts referencing two or more variables;
+    * ``constants`` — variable-free conjuncts (evaluated once).
+    """
+
+    selections: dict[str, list[ast.Expr]]
+    joins: list[ast.Expr]
+    constants: list[ast.Expr]
+
+    def selection_predicate(self, var: str) -> ast.Expr | None:
+        return conjoin(self.selections.get(var, []))
+
+    def join_predicate(self) -> ast.Expr | None:
+        return conjoin(self.joins)
+
+
+def build_condition_graph(expr: ast.Expr | None,
+                          variables: list[str]) -> ConditionGraph:
+    """Partition a predicate into selections, joins and constants."""
+    selections: dict[str, list[ast.Expr]] = {v: [] for v in variables}
+    joins: list[ast.Expr] = []
+    constants: list[ast.Expr] = []
+    for conjunct in split_conjuncts(expr):
+        referenced = variables_of(conjunct)
+        unknown = referenced - set(variables)
+        if unknown:
+            raise SemanticError(
+                f"predicate references unbound variables {sorted(unknown)}")
+        if not referenced:
+            constants.append(conjunct)
+        elif len(referenced) == 1:
+            selections[next(iter(referenced))].append(conjunct)
+        else:
+            joins.append(conjunct)
+    return ConditionGraph(selections, joins, constants)
+
+
+# ----------------------------------------------------------------------
+# interval extraction for the selection predicate index
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttrInterval:
+    """An interval constraint on one (non-``previous``) attribute."""
+
+    attr: str
+    position: int
+    interval: Interval
+
+
+def interval_of_conjunct(conjunct: ast.Expr,
+                         var: str) -> AttrInterval | None:
+    """The interval form of ``var.attr CMP const-expr``, if it has one.
+
+    Returns None for conjuncts the interval index cannot handle (``!=``,
+    ``previous`` references, arithmetic over the attribute, multiple
+    attributes, ``new()``, …); those become residual predicates tested
+    after the index probe.
+    """
+    if not isinstance(conjunct, ast.BinOp) \
+            or conjunct.op not in ast.COMPARISON_OPS \
+            or conjunct.op == "!=":
+        return None
+    sides = [(conjunct.left, conjunct.right, conjunct.op),
+             (conjunct.right, conjunct.left, _flip(conjunct.op))]
+    for attr_side, const_side, op in sides:
+        if not isinstance(attr_side, ast.AttrRef) or attr_side.previous:
+            continue
+        if attr_side.var != var:
+            continue
+        if variables_of(const_side):
+            continue
+        try:
+            bound = constant_value(const_side)
+        except SemanticError:
+            continue
+        if bound is None:
+            return None
+        return AttrInterval(attr_side.attr, attr_side.position or 0,
+                            _interval_for(op, bound))
+    return None
+
+
+def _flip(op: str) -> str:
+    return {"=": "=", "!=": "!=", "<": ">", "<=": ">=",
+            ">": "<", ">=": "<="}[op]
+
+
+def _interval_for(op: str, bound) -> Interval:
+    if op == "=":
+        return Interval.point(bound)
+    if op == "<":
+        return Interval.at_most(bound, closed=False)
+    if op == "<=":
+        return Interval.at_most(bound, closed=True)
+    if op == ">":
+        return Interval.at_least(bound, closed=False)
+    return Interval.at_least(bound, closed=True)
+
+
+def intersect(a: Interval, b: Interval) -> Interval | None:
+    """Intersection of two intervals (None when empty).
+
+    Payloads are dropped; callers re-attach their own.
+    """
+    if key_lt(a.low, b.low):
+        low, low_closed = b.low, b.low_closed
+    elif key_lt(b.low, a.low):
+        low, low_closed = a.low, a.low_closed
+    else:
+        low, low_closed = a.low, a.low_closed and b.low_closed
+    if key_lt(a.high, b.high):
+        high, high_closed = a.high, a.high_closed
+    elif key_lt(b.high, a.high):
+        high, high_closed = b.high, b.high_closed
+    else:
+        high, high_closed = a.high, a.high_closed and b.high_closed
+    try:
+        return Interval(low, high, low_closed, high_closed)
+    except ValueError:
+        return None
+
+
+@dataclass
+class SelectionAnalysis:
+    """A variable's selection predicate, split for index anchoring.
+
+    ``anchor`` is the tightest interval constraint on a single attribute,
+    obtained by intersecting every interval-form conjunct on the chosen
+    attribute; ``residual`` is the AND of all remaining conjuncts
+    (including conjuncts on other attributes), to be verified after the
+    index reports a candidate match.  ``unsatisfiable`` marks predicates
+    whose interval conjuncts contradict (empty intersection).
+    """
+
+    anchor: AttrInterval | None
+    residual: ast.Expr | None
+    unsatisfiable: bool = False
+
+
+def analyze_selection(conjuncts: list[ast.Expr],
+                      var: str) -> SelectionAnalysis:
+    """Choose an index anchor for a variable's selection conjuncts.
+
+    Strategy: group the interval-form conjuncts by attribute, intersect
+    each group, and anchor on the attribute whose combined interval is a
+    point if one exists (most selective), otherwise the attribute with the
+    most conjuncts.  Everything else is residual.
+    """
+    by_attr: dict[str, list[tuple[int, AttrInterval]]] = {}
+    residual: list[ast.Expr] = []
+    interval_positions: dict[int, str] = {}
+    for i, conjunct in enumerate(conjuncts):
+        attr_interval = interval_of_conjunct(conjunct, var)
+        if attr_interval is None:
+            residual.append(conjunct)
+        else:
+            by_attr.setdefault(attr_interval.attr, []).append(
+                (i, attr_interval))
+            interval_positions[i] = attr_interval.attr
+
+    if not by_attr:
+        return SelectionAnalysis(None, conjoin(residual))
+
+    combined: dict[str, AttrInterval | None] = {}
+    for attr, entries in by_attr.items():
+        interval: Interval | None = entries[0][1].interval
+        for _, attr_interval in entries[1:]:
+            if interval is not None:
+                interval = intersect(interval, attr_interval.interval)
+        combined[attr] = (None if interval is None else AttrInterval(
+            attr, entries[0][1].position, interval))
+
+    if any(v is None for v in combined.values()):
+        return SelectionAnalysis(None, conjoin(conjuncts),
+                                 unsatisfiable=True)
+
+    def score(attr: str) -> tuple:
+        attr_interval = combined[attr]
+        is_point = (attr_interval.interval.low_closed
+                    and attr_interval.interval.high_closed
+                    and not key_lt(attr_interval.interval.low,
+                                   attr_interval.interval.high))
+        bounded = (attr_interval.interval.low is not NEG_INF) + \
+                  (attr_interval.interval.high is not POS_INF)
+        return (is_point, bounded, len(by_attr[attr]), attr)
+
+    best = max(combined, key=score)
+    anchor = combined[best]
+    for i, conjunct in enumerate(conjuncts):
+        if interval_positions.get(i) == best:
+            continue
+        if i in interval_positions:
+            residual.append(conjunct)
+    # Keep residuals in original conjunct order for readable deparse.
+    residual_set = {id(c) for c in residual}
+    ordered = [c for c in conjuncts if id(c) in residual_set]
+    return SelectionAnalysis(anchor, conjoin(ordered))
+
+
+def equijoin_of_conjunct(conjunct: ast.Expr) -> EquiJoinPredicate | None:
+    """The equi-join form of ``v1.a = v2.b`` (current values), if any."""
+    if not isinstance(conjunct, ast.BinOp) or conjunct.op != "=":
+        return None
+    left, right = conjunct.left, conjunct.right
+    if not (isinstance(left, ast.AttrRef) and isinstance(right, ast.AttrRef)):
+        return None
+    if left.previous or right.previous:
+        return None
+    if left.var == right.var:
+        return None
+    return EquiJoinPredicate(
+        left.var, left.attr, left.position or 0,
+        right.var, right.attr, right.position or 0)

@@ -1,0 +1,587 @@
+"""Semantic analysis: name resolution and type checking.
+
+The analyzer resolves tuple variables to relations (explicit ``from``
+bindings plus POSTQUEL's *default tuple variables*, where a relation name
+used directly acts as a variable over that relation — paper section 2.1),
+annotates every attribute reference with its position in the relation's
+schema, infers expression types, and enforces the language's static rules:
+
+* ``previous`` and ``new()`` only appear in rule conditions/actions;
+* ``do … end`` blocks may not be nested (paper section 2.2.1);
+* replace/append assignments name real attributes with compatible types;
+* rule actions may share tuple variables with the rule condition — those
+  references are resolved against the condition's bindings and later bound
+  to the P-node by query modification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import AttributeType, Schema
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+
+
+@dataclass
+class Scope:
+    """Tuple-variable bindings available to an expression.
+
+    ``rule_vars`` is the subset bound by a rule's condition (shared
+    variables, in the paper's terms); ``allow_previous`` / ``allow_new``
+    gate the rule-only constructs.
+    """
+
+    bindings: dict[str, str] = field(default_factory=dict)  # var -> relation
+    rule_vars: frozenset[str] = frozenset()
+    allow_previous: bool = False
+    allow_new: bool = False
+    #: aggregates permitted only in retrieve target lists
+    allow_aggregates: bool = False
+
+    def bind(self, var: str, relation: str) -> None:
+        existing = self.bindings.get(var)
+        if existing is not None and existing != relation:
+            raise SemanticError(
+                f"tuple variable {var!r} bound to both {existing!r} "
+                f"and {relation!r}")
+        self.bindings[var] = relation
+
+    def relation_of(self, var: str) -> str | None:
+        return self.bindings.get(var)
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    if isinstance(expr, ast.AggregateCall):
+        return True
+    if isinstance(expr, ast.BinOp):
+        return (_contains_aggregate(expr.left)
+                or _contains_aggregate(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return _contains_aggregate(expr.operand)
+    return False
+
+
+def _has_bare_attr_outside_aggregate(expr: ast.Expr) -> bool:
+    """Any attribute reference not wrapped in an aggregate call?"""
+    if isinstance(expr, (ast.AttrRef, ast.AllRef)):
+        return True
+    if isinstance(expr, ast.AggregateCall):
+        return False       # references inside the aggregate are fine
+    if isinstance(expr, ast.BinOp):
+        return (_has_bare_attr_outside_aggregate(expr.left)
+                or _has_bare_attr_outside_aggregate(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return _has_bare_attr_outside_aggregate(expr.operand)
+    return False
+
+
+class SemanticAnalyzer:
+    """Validates and annotates parsed commands against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+
+    def analyze(self, command: ast.Command,
+                outer: Scope | None = None) -> ast.Command:
+        """Analyze (and annotate in place) one command.
+
+        ``outer`` carries a rule condition's bindings into the rule's
+        action commands.
+        """
+        handler = getattr(self, f"_analyze_{type(command).__name__}", None)
+        if handler is None:
+            raise SemanticError(
+                f"cannot analyze {type(command).__name__}")
+        handler(command, outer or Scope())
+        return command
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _analyze_CreateRelation(self, cmd: ast.CreateRelation,
+                                outer: Scope) -> None:
+        if self.catalog.has_relation(cmd.name):
+            raise SemanticError(f"relation {cmd.name!r} already exists")
+        seen = set()
+        for col in cmd.columns:
+            if col.name in seen:
+                raise SemanticError(f"duplicate column {col.name!r}")
+            seen.add(col.name)
+            AttributeType.from_name(col.type_name)   # validates
+
+    def _analyze_DestroyRelation(self, cmd: ast.DestroyRelation,
+                                 outer: Scope) -> None:
+        self.catalog.relation(cmd.name)
+
+    def _analyze_DefineIndex(self, cmd: ast.DefineIndex,
+                             outer: Scope) -> None:
+        relation = self.catalog.relation(cmd.relation)
+        relation.schema.position(cmd.attribute)
+        if cmd.kind not in ("btree", "hash"):
+            raise SemanticError(f"unknown index kind {cmd.kind!r}")
+
+    def _analyze_RemoveIndex(self, cmd: ast.RemoveIndex,
+                             outer: Scope) -> None:
+        self.catalog.index_info(cmd.name)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _analyze_Append(self, cmd: ast.Append, outer: Scope) -> None:
+        target = self.catalog.relation(cmd.relation)
+        scope = self._make_scope(cmd.from_items, outer)
+        cmd.targets = self._expand_all_refs(cmd.targets, scope)
+        self._bind_implicit(cmd.targets, cmd.where, scope,
+                            extra_vars=())
+        named = [c for c in cmd.targets if c.name is not None]
+        if named and len(named) != len(cmd.targets):
+            raise SemanticError(
+                "append targets must be all named or all positional")
+        if named:
+            seen = set()
+            for col in cmd.targets:
+                if col.name in seen:
+                    raise SemanticError(
+                        f"duplicate target attribute {col.name!r}")
+                seen.add(col.name)
+                expected = target.schema.type_of(col.name)
+                self._check_assignable(col, expected, scope)
+        else:
+            if len(cmd.targets) != len(target.schema):
+                raise SemanticError(
+                    f"append to {cmd.relation!r} expects "
+                    f"{len(target.schema)} values, got {len(cmd.targets)}")
+            for col, attr in zip(cmd.targets, target.schema):
+                self._check_assignable(col, attr.type, scope)
+        self._check_where(cmd.where, scope)
+        self._stash_scope(cmd, scope)
+
+    def _analyze_Delete(self, cmd: ast.Delete, outer: Scope) -> None:
+        scope = self._make_scope(cmd.from_items, outer)
+        self._resolve_target_var(cmd.target_var, scope)
+        self._bind_implicit([], cmd.where, scope,
+                            extra_vars=(cmd.target_var,))
+        self._check_where(cmd.where, scope)
+        self._stash_scope(cmd, scope)
+
+    def _analyze_Replace(self, cmd: ast.Replace, outer: Scope) -> None:
+        scope = self._make_scope(cmd.from_items, outer)
+        relation_name = self._resolve_target_var(cmd.target_var, scope)
+        schema = self.catalog.relation(relation_name).schema
+        self._bind_implicit(cmd.assignments, cmd.where, scope,
+                            extra_vars=(cmd.target_var,))
+        seen = set()
+        for col in cmd.assignments:
+            if col.name is None:
+                raise SemanticError("replace assignments must be named")
+            if col.name in seen:
+                raise SemanticError(
+                    f"duplicate assignment to {col.name!r}")
+            seen.add(col.name)
+            self._check_assignable(col, schema.type_of(col.name), scope)
+        self._check_where(cmd.where, scope)
+        self._stash_scope(cmd, scope)
+
+    def _analyze_Retrieve(self, cmd: ast.Retrieve, outer: Scope) -> None:
+        if cmd.into is not None and self.catalog.has_relation(cmd.into):
+            raise SemanticError(
+                f"retrieve into: relation {cmd.into!r} already exists")
+        scope = self._make_scope(cmd.from_items, outer)
+        cmd.targets = self._expand_all_refs(cmd.targets, scope,
+                                            bind_first=True)
+        self._bind_implicit(cmd.targets, cmd.where, scope, extra_vars=())
+        named = set()
+        for col in cmd.targets:
+            scope.allow_aggregates = True
+            try:
+                self._check_expr(col.expr, scope)
+            finally:
+                scope.allow_aggregates = False
+            # Explicitly named result columns must be unique; derived
+            # names (attr names from different variables) may repeat.
+            if col.name is not None:
+                if col.name in named:
+                    raise SemanticError(
+                        f"duplicate result column {col.name!r}")
+                named.add(col.name)
+        self._check_where(cmd.where, scope)
+        for key in cmd.sort_keys:
+            key_type = self._check_expr(key.expr, scope)
+            if key_type is AttributeType.BOOL:
+                raise SemanticError("cannot sort by a boolean expression")
+        self._check_aggregation_shape(cmd)
+        self._stash_scope(cmd, scope)
+
+    def _check_aggregation_shape(self, cmd: ast.Retrieve) -> None:
+        """POSTQUEL implicit grouping: when any target aggregates, every
+        target must be either aggregate-free (a group key) or an
+        expression over aggregates and constants only."""
+        has_aggregate = any(_contains_aggregate(col.expr)
+                            for col in cmd.targets)
+        if not has_aggregate:
+            return
+        for col in cmd.targets:
+            if not _contains_aggregate(col.expr):
+                continue
+            if _has_bare_attr_outside_aggregate(col.expr):
+                raise SemanticError(
+                    "an aggregated result column may not also reference "
+                    "attributes outside the aggregate")
+        if cmd.sort_keys:
+            raise SemanticError(
+                "sort by is not supported on aggregated retrieves")
+
+    def _analyze_Block(self, cmd: ast.Block, outer: Scope) -> None:
+        for sub in cmd.commands:
+            if isinstance(sub, ast.Block):
+                raise SemanticError(
+                    "do ... end blocks may not be nested")
+            if isinstance(sub, (ast.DefineRule, ast.RemoveRule,
+                                ast.ActivateRule, ast.DeactivateRule)):
+                raise SemanticError(
+                    "rule management commands are not allowed inside "
+                    "a transition block")
+            self.analyze(sub, outer)
+
+    def _analyze_Halt(self, cmd: ast.Halt, outer: Scope) -> None:
+        return None
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+
+    def _analyze_DefineRule(self, cmd: ast.DefineRule,
+                            outer: Scope) -> None:
+        if self.catalog.has_rule(cmd.name):
+            raise SemanticError(f"rule {cmd.name!r} already exists")
+        scope = self._make_scope(cmd.from_items, Scope())
+        scope.allow_previous = True
+        scope.allow_new = True
+        if cmd.event is not None:
+            relation = self.catalog.relation(cmd.event.relation)
+            for attr in cmd.event.attributes:
+                relation.schema.position(attr)
+            if (cmd.event.attributes
+                    and cmd.event.kind is not ast.EventKind.REPLACE):
+                raise SemanticError(
+                    "an attribute list on an event is only meaningful "
+                    "for replace events")
+            scope.bind(cmd.event.relation, cmd.event.relation)
+        if cmd.condition is not None:
+            self._bind_implicit([], cmd.condition, scope, extra_vars=())
+            cond_type = self._check_expr(cmd.condition, scope)
+            if cond_type is not AttributeType.BOOL:
+                raise SemanticError("rule condition must be boolean")
+        if cmd.condition is None and cmd.event is None:
+            raise SemanticError(
+                f"rule {cmd.name!r} needs an on clause, an if clause, "
+                f"or both")
+        cmd.condition_scope = dict(scope.bindings)
+        # The action sees the condition's variables as shared variables.
+        action_outer = Scope(
+            bindings=dict(scope.bindings),
+            rule_vars=frozenset(scope.bindings),
+            allow_previous=True,
+            allow_new=False,
+        )
+        if isinstance(cmd.action, ast.Block):
+            for sub in cmd.action.commands:
+                if isinstance(sub, ast.Block):
+                    raise SemanticError(
+                        "do ... end blocks may not be nested")
+                self._check_action_command(sub)
+                self.analyze(sub, action_outer)
+        else:
+            self._check_action_command(cmd.action)
+            self.analyze(cmd.action, action_outer)
+
+    @staticmethod
+    def _check_action_command(sub: ast.Command) -> None:
+        allowed = (ast.Append, ast.Delete, ast.Replace, ast.Retrieve,
+                   ast.Halt)
+        if not isinstance(sub, allowed):
+            raise SemanticError(
+                f"{type(sub).__name__} is not allowed in a rule action")
+
+    def _analyze_RemoveRule(self, cmd: ast.RemoveRule,
+                            outer: Scope) -> None:
+        self.catalog.rule(cmd.name)
+
+    def _analyze_ActivateRule(self, cmd: ast.ActivateRule,
+                              outer: Scope) -> None:
+        self.catalog.rule(cmd.name)
+
+    def _analyze_DeactivateRule(self, cmd: ast.DeactivateRule,
+                                outer: Scope) -> None:
+        self.catalog.rule(cmd.name)
+
+    # ------------------------------------------------------------------
+    # scope construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stash_scope(cmd: ast.Command, scope: Scope) -> None:
+        """Record the resolved var -> relation map for the planner."""
+        cmd.resolved_scope = dict(scope.bindings)
+        cmd.rule_vars = scope.rule_vars
+
+    def _make_scope(self, from_items: list[ast.FromItem],
+                    outer: Scope) -> Scope:
+        scope = Scope(
+            bindings=dict(outer.bindings),
+            rule_vars=outer.rule_vars,
+            allow_previous=outer.allow_previous,
+            allow_new=outer.allow_new,
+        )
+        for item in from_items:
+            self.catalog.relation(item.relation)   # must exist
+            scope.bind(item.var, item.relation)
+        return scope
+
+    def _bind_implicit(self, targets, where, scope: Scope,
+                       extra_vars: tuple[str, ...]) -> None:
+        """Bind default tuple variables: unbound names matching relations."""
+        used: set[str] = set(extra_vars)
+        for col in targets or ():
+            self._collect_vars(col.expr, used)
+        if where is not None:
+            self._collect_vars(where, used)
+        for var in sorted(used):
+            if scope.relation_of(var) is None:
+                if self.catalog.has_relation(var):
+                    scope.bind(var, var)
+                else:
+                    raise SemanticError(
+                        f"unknown tuple variable or relation {var!r}")
+
+    def _resolve_target_var(self, var: str, scope: Scope) -> str:
+        relation = scope.relation_of(var)
+        if relation is None:
+            if not self.catalog.has_relation(var):
+                raise SemanticError(
+                    f"unknown tuple variable or relation {var!r}")
+            scope.bind(var, var)
+            relation = var
+        return relation
+
+    @staticmethod
+    def _collect_vars(expr: ast.Expr, out: set[str]) -> None:
+        if isinstance(expr, (ast.AttrRef, ast.AllRef, ast.NewCall)):
+            out.add(expr.var)
+        elif isinstance(expr, ast.BinOp):
+            SemanticAnalyzer._collect_vars(expr.left, out)
+            SemanticAnalyzer._collect_vars(expr.right, out)
+        elif isinstance(expr, ast.UnaryOp):
+            SemanticAnalyzer._collect_vars(expr.operand, out)
+        elif isinstance(expr, ast.AggregateCall):
+            SemanticAnalyzer._collect_vars(expr.argument, out)
+
+    def _expand_all_refs(self, targets: list[ast.ResultColumn],
+                         scope: Scope,
+                         bind_first: bool = False
+                         ) -> list[ast.ResultColumn]:
+        """Expand ``var.all`` into one positional column per attribute."""
+        expanded: list[ast.ResultColumn] = []
+        for col in targets:
+            if not isinstance(col.expr, ast.AllRef):
+                expanded.append(col)
+                continue
+            if col.name is not None:
+                raise SemanticError(
+                    f"{col.expr.var}.all cannot be renamed")
+            var = col.expr.var
+            relation = scope.relation_of(var)
+            if relation is None:
+                if not self.catalog.has_relation(var):
+                    raise SemanticError(
+                        f"unknown tuple variable or relation {var!r}")
+                scope.bind(var, var)
+                relation = var
+            schema = self.catalog.relation(relation).schema
+            for attr in schema:
+                expanded.append(ast.ResultColumn(
+                    None, ast.AttrRef(var, attr.name)))
+        return expanded
+
+    @staticmethod
+    def _result_name(col: ast.ResultColumn, position: int) -> str:
+        if col.name is not None:
+            return col.name
+        if isinstance(col.expr, ast.AttrRef):
+            return col.expr.attr
+        return f"column{position + 1}"
+
+    # ------------------------------------------------------------------
+    # expression checking
+    # ------------------------------------------------------------------
+
+    def _check_where(self, where: ast.Expr | None, scope: Scope) -> None:
+        if where is None:
+            return
+        where_type = self._check_expr(where, scope)
+        if where_type not in (AttributeType.BOOL, None):
+            raise SemanticError("where clause must be boolean")
+
+    def _check_assignable(self, col: ast.ResultColumn,
+                          expected: AttributeType, scope: Scope) -> None:
+        actual = self._check_expr(col.expr, scope)
+        if actual is None or actual is expected:
+            return                      # null is assignable anywhere
+        if (expected is AttributeType.FLOAT
+                and actual is AttributeType.INT):
+            return
+        name = col.name or "<positional>"
+        raise SemanticError(
+            f"cannot assign {actual.value} expression to "
+            f"{expected.value} attribute {name!r}")
+
+    def _check_expr(self, expr: ast.Expr, scope: Scope) -> AttributeType:
+        if isinstance(expr, ast.Const):
+            return self._const_type(expr.value)
+        if isinstance(expr, ast.AttrRef):
+            return self._check_attr_ref(expr, scope)
+        if isinstance(expr, ast.NewCall):
+            if not scope.allow_new:
+                raise SemanticError(
+                    "new() is only valid in a rule condition")
+            if scope.relation_of(expr.var) is None:
+                if not self.catalog.has_relation(expr.var):
+                    raise SemanticError(
+                        f"unknown tuple variable or relation {expr.var!r}")
+                scope.bind(expr.var, expr.var)
+            return AttributeType.BOOL
+        if isinstance(expr, ast.AggregateCall):
+            return self._check_aggregate(expr, scope)
+        if isinstance(expr, ast.AllRef):
+            raise SemanticError(
+                f"{expr.var}.all is only valid in a target list")
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._check_expr(expr.operand, scope)
+            if expr.op == "-":
+                if operand not in (AttributeType.INT,
+                                   AttributeType.FLOAT, None):
+                    raise SemanticError("unary minus needs a numeric "
+                                        "operand")
+                return operand
+            if operand not in (AttributeType.BOOL, None):
+                raise SemanticError("not needs a boolean operand")
+            return AttributeType.BOOL
+        if isinstance(expr, ast.BinOp):
+            return self._check_binop(expr, scope)
+        raise SemanticError(f"cannot type-check {type(expr).__name__}")
+
+    def _check_attr_ref(self, expr: ast.AttrRef,
+                        scope: Scope) -> AttributeType:
+        relation = scope.relation_of(expr.var)
+        if relation is None:
+            if not self.catalog.has_relation(expr.var):
+                raise SemanticError(
+                    f"unknown tuple variable or relation {expr.var!r}")
+            scope.bind(expr.var, expr.var)
+            relation = expr.var
+        if expr.previous and not scope.allow_previous:
+            raise SemanticError(
+                "previous is only valid in rule conditions and actions")
+        schema = self.catalog.relation(relation).schema
+        expr.position = schema.position(expr.attr)
+        return schema.type_of(expr.attr)
+
+    def _check_aggregate(self, expr: ast.AggregateCall,
+                         scope: Scope) -> AttributeType | None:
+        if not scope.allow_aggregates:
+            raise SemanticError(
+                f"{expr.func}() is only allowed in a retrieve target "
+                f"list")
+        if isinstance(expr.argument, ast.AllRef):
+            if expr.func != "count":
+                raise SemanticError(
+                    f"{expr.func}(var.all) is not meaningful; only "
+                    f"count(var.all) counts rows")
+            # bind the variable like any other reference
+            var = expr.argument.var
+            if scope.relation_of(var) is None:
+                if not self.catalog.has_relation(var):
+                    raise SemanticError(
+                        f"unknown tuple variable or relation {var!r}")
+                scope.bind(var, var)
+            return AttributeType.INT
+        scope.allow_aggregates = False
+        try:
+            argument = self._check_expr(expr.argument, scope)
+        finally:
+            scope.allow_aggregates = True
+        if expr.func == "count":
+            return AttributeType.INT
+        if expr.func == "avg":
+            if argument not in (AttributeType.INT, AttributeType.FLOAT,
+                                None):
+                raise SemanticError("avg() needs a numeric argument")
+            return AttributeType.FLOAT
+        if expr.func == "sum":
+            if argument not in (AttributeType.INT, AttributeType.FLOAT,
+                                None):
+                raise SemanticError("sum() needs a numeric argument")
+            return argument
+        # min / max: any ordered type
+        if argument is AttributeType.BOOL:
+            raise SemanticError(f"{expr.func}() cannot order booleans")
+        return argument
+
+    def _check_binop(self, expr: ast.BinOp,
+                     scope: Scope) -> AttributeType | None:
+        """Type of a binary expression.
+
+        A ``None`` operand type is the null literal: it is compatible
+        with everything (the run-time value is always unknown).
+        """
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        numeric = (AttributeType.INT, AttributeType.FLOAT, None)
+        if expr.op in ast.LOGICAL_OPS:
+            if left not in (AttributeType.BOOL, None) \
+                    or right not in (AttributeType.BOOL, None):
+                raise SemanticError(
+                    f"{expr.op} needs boolean operands")
+            return AttributeType.BOOL
+        if expr.op in ast.ARITHMETIC_OPS:
+            if left not in numeric or right not in numeric:
+                raise SemanticError(
+                    f"operator {expr.op!r} needs numeric operands")
+            if AttributeType.FLOAT in (left, right):
+                return AttributeType.FLOAT
+            if left is None or right is None:
+                return None
+            return AttributeType.INT
+        if expr.op in ast.COMPARISON_OPS:
+            comparable = (left is right or left is None or right is None
+                          or (left in numeric and right in numeric))
+            if not comparable:
+                raise SemanticError(
+                    f"cannot compare {left.value} with {right.value}")
+            if AttributeType.BOOL in (left, right) \
+                    and expr.op not in ("=", "!="):
+                raise SemanticError("booleans only support = and !=")
+            return AttributeType.BOOL
+        raise SemanticError(f"unknown operator {expr.op!r}")
+
+    @staticmethod
+    def _const_type(value: object) -> AttributeType | None:
+        if value is None:
+            return None                 # the null literal
+        if isinstance(value, bool):
+            return AttributeType.BOOL
+        if isinstance(value, int):
+            return AttributeType.INT
+        if isinstance(value, float):
+            return AttributeType.FLOAT
+        if isinstance(value, str):
+            return AttributeType.TEXT
+        raise SemanticError(f"unsupported literal {value!r}")

@@ -1,0 +1,414 @@
+"""Physical plan operators (iterator model over Bindings).
+
+Every operator yields :class:`~repro.lang.expr.Bindings` — tuple variables
+bound to value tuples plus their TIDs — rather than flat rows; projection
+to output rows happens only at the top of a ``retrieve``.  This is what
+lets one plan machinery serve ordinary queries *and* rule actions: the
+:class:`PnodeScan` operator binds every shared tuple variable of a rule
+(current and ``previous`` values, and the TIDs that ``replace'`` /
+``delete'`` need) from one P-node entry, exactly as described in paper
+section 5.2.
+
+Operators are parameterised: ``rows(ctx, outer)`` streams results given
+outer bindings, so an :class:`IndexProbe` under a :class:`NestedLoopJoin`
+is an index nested-loop join with no special casing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import PlanError
+from repro.intervals.interval import Interval, NEG_INF, POS_INF
+from repro.lang import ast_nodes as ast
+from repro.lang.ast_nodes import deparse
+from repro.lang.expr import Bindings, compile_expr, is_true
+
+
+class Plan:
+    """Base class for physical operators."""
+
+    #: tuple variables this plan binds
+    vars: frozenset[str] = frozenset()
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+
+def _compile_optional(expr: ast.Expr | None):
+    return compile_expr(expr) if expr is not None else None
+
+
+class SeqScan(Plan):
+    """Sequential scan of a base relation, with an optional pushed
+    selection predicate."""
+
+    def __init__(self, relation: str, var: str,
+                 predicate: ast.Expr | None = None):
+        self.relation = relation
+        self.var = var
+        self.predicate_expr = predicate
+        self._predicate = _compile_optional(predicate)
+        self.vars = frozenset([var])
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        relation = ctx.catalog.relation(self.relation)
+        predicate = self._predicate
+        for stored in relation.scan():
+            bound = outer.bind(self.var, stored.values, stored.tid)
+            if predicate is None or is_true(predicate(bound)):
+                yield bound
+
+    def label(self) -> str:
+        text = f"SeqScan {self.relation} as {self.var}"
+        if self.predicate_expr is not None:
+            text += f" [{deparse(self.predicate_expr)}]"
+        return text
+
+
+class IndexScan(Plan):
+    """Index access with constant bounds: a B-tree range or a hash point.
+
+    ``residual`` re-checks conjuncts the index key does not fully cover.
+    """
+
+    def __init__(self, relation: str, var: str, index_name: str,
+                 interval: Interval, residual: ast.Expr | None = None):
+        self.relation = relation
+        self.var = var
+        self.index_name = index_name
+        self.interval = interval
+        self.residual_expr = residual
+        self._residual = _compile_optional(residual)
+        self.vars = frozenset([var])
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        relation = ctx.catalog.relation(self.relation)
+        index = None
+        for candidate in relation.indexes():
+            if candidate.name == self.index_name:
+                index = candidate
+                break
+        if index is None:
+            raise PlanError(f"index {self.index_name!r} disappeared; "
+                            f"replan required")
+        iv = self.interval
+        if index.kind == "hash":
+            tids = index.search(iv.low)
+        else:
+            low = None if iv.low is NEG_INF else iv.low
+            high = None if iv.high is POS_INF else iv.high
+            tids = index.range_search(low, high,
+                                      low_inclusive=iv.low_closed,
+                                      high_inclusive=iv.high_closed)
+        residual = self._residual
+        for stored in relation.fetch(tids):
+            bound = outer.bind(self.var, stored.values, stored.tid)
+            if residual is None or is_true(residual(bound)):
+                yield bound
+
+    def label(self) -> str:
+        text = (f"IndexScan {self.relation} as {self.var} "
+                f"using {self.index_name} {self.interval}")
+        if self.residual_expr is not None:
+            text += f" [{deparse(self.residual_expr)}]"
+        return text
+
+
+class IndexProbe(Plan):
+    """Parameterised equality probe: the key is computed from the outer
+    bindings on every call (the inner side of an index nested-loop
+    join)."""
+
+    def __init__(self, relation: str, var: str, index_name: str,
+                 key: ast.Expr, residual: ast.Expr | None = None):
+        self.relation = relation
+        self.var = var
+        self.index_name = index_name
+        self.key_expr = key
+        self._key = compile_expr(key)
+        self.residual_expr = residual
+        self._residual = _compile_optional(residual)
+        self.vars = frozenset([var])
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        key = self._key(outer)
+        if key is None:
+            return
+        relation = ctx.catalog.relation(self.relation)
+        index = None
+        for candidate in relation.indexes():
+            if candidate.name == self.index_name:
+                index = candidate
+                break
+        if index is None:
+            raise PlanError(f"index {self.index_name!r} disappeared; "
+                            f"replan required")
+        residual = self._residual
+        for stored in relation.fetch(index.search(key)):
+            bound = outer.bind(self.var, stored.values, stored.tid)
+            if residual is None or is_true(residual(bound)):
+                yield bound
+
+    def label(self) -> str:
+        text = (f"IndexProbe {self.relation} as {self.var} "
+                f"using {self.index_name} on {deparse(self.key_expr)}")
+        if self.residual_expr is not None:
+            text += f" [{deparse(self.residual_expr)}]"
+        return text
+
+
+class PnodeScan(Plan):
+    """Scan of a rule's P-node, binding every shared tuple variable.
+
+    "The Ariel query processor provides an operator called PnodeScan which
+    can scan a P-node and optionally apply a selection predicate to it"
+    (paper section 5.2).
+    """
+
+    def __init__(self, pnode, predicate: ast.Expr | None = None):
+        self.pnode = pnode
+        self.predicate_expr = predicate
+        self._predicate = _compile_optional(predicate)
+        self.vars = frozenset(pnode.variables)
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        predicate = self._predicate
+        for match in self.pnode.matches():
+            bound = match.extend(outer)
+            if predicate is None or is_true(predicate(bound)):
+                yield bound
+
+    def label(self) -> str:
+        text = (f"PnodeScan P({self.pnode.rule_name}) "
+                f"binding {', '.join(sorted(self.vars))}")
+        if self.predicate_expr is not None:
+            text += f" [{deparse(self.predicate_expr)}]"
+        return text
+
+
+class FilterPlan(Plan):
+    """Apply a predicate to child rows (non-pushable conjuncts)."""
+
+    def __init__(self, child: Plan, predicate: ast.Expr):
+        self.child = child
+        self.predicate_expr = predicate
+        self._predicate = compile_expr(predicate)
+        self.vars = child.vars
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        predicate = self._predicate
+        for bound in self.child.rows(ctx, outer):
+            if is_true(predicate(bound)):
+                yield bound
+
+    def label(self) -> str:
+        return f"Filter [{deparse(self.predicate_expr)}]"
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+
+class NestedLoopJoin(Plan):
+    """For each outer row, re-execute the inner plan with that row bound.
+
+    With an :class:`IndexProbe` inner this is an index nested-loop join;
+    with a scan inner it is the plain nested loop of paper Figure 8.
+    """
+
+    def __init__(self, outer: Plan, inner: Plan,
+                 predicate: ast.Expr | None = None):
+        self.outer = outer
+        self.inner = inner
+        self.predicate_expr = predicate
+        self._predicate = _compile_optional(predicate)
+        self.vars = outer.vars | inner.vars
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        predicate = self._predicate
+        for left in self.outer.rows(ctx, outer):
+            for both in self.inner.rows(ctx, left):
+                if predicate is None or is_true(predicate(both)):
+                    yield both
+
+    def label(self) -> str:
+        text = "NestedLoopJoin"
+        if self.predicate_expr is not None:
+            text += f" [{deparse(self.predicate_expr)}]"
+        return text
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.outer, self.inner)
+
+
+class HashJoin(Plan):
+    """Equi-join: build a hash table on the left, probe with the right.
+
+    Null keys never join (SQL semantics).  ``residual`` evaluates any
+    extra join conjuncts on matched pairs.
+    """
+
+    def __init__(self, left: Plan, right: Plan,
+                 left_keys: list[ast.Expr], right_keys: list[ast.Expr],
+                 residual: ast.Expr | None = None):
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("hash join needs matching non-empty key lists")
+        self.left = left
+        self.right = right
+        self.left_key_exprs = left_keys
+        self.right_key_exprs = right_keys
+        self._left_keys = [compile_expr(k) for k in left_keys]
+        self._right_keys = [compile_expr(k) for k in right_keys]
+        self.residual_expr = residual
+        self._residual = _compile_optional(residual)
+        self.vars = left.vars | right.vars
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        table: dict[tuple, list[Bindings]] = {}
+        for left in self.left.rows(ctx, outer):
+            key = tuple(k(left) for k in self._left_keys)
+            if any(v is None for v in key):
+                continue
+            table.setdefault(key, []).append(left)
+        residual = self._residual
+        right_vars = self.right.vars
+        for right in self.right.rows(ctx, outer):
+            key = tuple(k(right) for k in self._right_keys)
+            if any(v is None for v in key):
+                continue
+            for left in table.get(key, ()):
+                merged = left.child()
+                for var in right_vars:
+                    merged.current[var] = right.current[var]
+                    if var in right.tids:
+                        merged.tids[var] = right.tids[var]
+                    if var in right.previous:
+                        merged.previous[var] = right.previous[var]
+                if residual is None or is_true(residual(merged)):
+                    yield merged
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{deparse(l)} = {deparse(r)}"
+            for l, r in zip(self.left_key_exprs, self.right_key_exprs))
+        text = f"HashJoin [{keys}]"
+        if self.residual_expr is not None:
+            text += f" +[{deparse(self.residual_expr)}]"
+        return text
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+class SortMergeJoin(Plan):
+    """Single-key equi-join by sorting both inputs and merging.
+
+    Present because the paper calls it out ("it could have chosen
+    SortMergeJoin instead of NestedLoopJoin in Figure 8"); the optimizer
+    picks it when both inputs are large and no index applies.
+    """
+
+    def __init__(self, left: Plan, right: Plan,
+                 left_key: ast.Expr, right_key: ast.Expr,
+                 residual: ast.Expr | None = None):
+        self.left = left
+        self.right = right
+        self.left_key_expr = left_key
+        self.right_key_expr = right_key
+        self._left_key = compile_expr(left_key)
+        self._right_key = compile_expr(right_key)
+        self.residual_expr = residual
+        self._residual = _compile_optional(residual)
+        self.vars = left.vars | right.vars
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        left_rows = [(self._left_key(b), b)
+                     for b in self.left.rows(ctx, outer)]
+        right_rows = [(self._right_key(b), b)
+                      for b in self.right.rows(ctx, outer)]
+        left_rows = sorted((p for p in left_rows if p[0] is not None),
+                           key=lambda p: p[0])
+        right_rows = sorted((p for p in right_rows if p[0] is not None),
+                            key=lambda p: p[0])
+        residual = self._residual
+        right_vars = self.right.vars
+        i = j = 0
+        while i < len(left_rows) and j < len(right_rows):
+            lkey, rkey = left_rows[i][0], right_rows[j][0]
+            if lkey < rkey:
+                i += 1
+            elif rkey < lkey:
+                j += 1
+            else:
+                # find the blocks of equal keys on both sides
+                i2 = i
+                while i2 < len(left_rows) and left_rows[i2][0] == lkey:
+                    i2 += 1
+                j2 = j
+                while j2 < len(right_rows) and right_rows[j2][0] == lkey:
+                    j2 += 1
+                for _, left in left_rows[i:i2]:
+                    for _, right in right_rows[j:j2]:
+                        merged = left.child()
+                        for var in right_vars:
+                            merged.current[var] = right.current[var]
+                            if var in right.tids:
+                                merged.tids[var] = right.tids[var]
+                            if var in right.previous:
+                                merged.previous[var] = right.previous[var]
+                        if residual is None or is_true(residual(merged)):
+                            yield merged
+                i, j = i2, j2
+
+    def label(self) -> str:
+        text = (f"SortMergeJoin [{deparse(self.left_key_expr)} = "
+                f"{deparse(self.right_key_expr)}]")
+        if self.residual_expr is not None:
+            text += f" +[{deparse(self.residual_expr)}]"
+        return text
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+
+class EmptyPlan(Plan):
+    """Produces no rows (unsatisfiable predicates plan to this)."""
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        return iter(())
+
+    def label(self) -> str:
+        return "Empty"
+
+
+class SingletonPlan(Plan):
+    """Produces exactly the outer bindings once (zero-variable commands
+    like ``append t(a = 1)``)."""
+
+    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+        yield outer
+
+    def label(self) -> str:
+        return "Singleton"
+
+
+def explain(plan: Plan, indent: int = 0) -> str:
+    """Render a plan tree as an indented outline (one node per line)."""
+    lines = ["  " * indent + plan.label()]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)
+
+
+def plan_operators(plan: Plan) -> list[str]:
+    """Flat list of operator class names (handy for tests)."""
+    out = [type(plan).__name__]
+    for child in plan.children():
+        out.extend(plan_operators(child))
+    return out

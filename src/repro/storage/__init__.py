@@ -1,0 +1,20 @@
+"""In-memory storage engine: heap relations, tuple identifiers, indexes.
+
+The paper's Ariel sits on the EXODUS storage manager; the rule-system
+algorithms only require stable tuple identity, sequential scans and index
+lookups, all of which this in-memory engine provides (see DESIGN.md,
+"Substitutions").
+"""
+
+from repro.storage.tuples import TupleId, StoredTuple
+from repro.storage.heap import HeapRelation
+from repro.storage.indexes import Index, HashIndex, BTreeIndex
+
+__all__ = [
+    "TupleId",
+    "StoredTuple",
+    "HeapRelation",
+    "Index",
+    "HashIndex",
+    "BTreeIndex",
+]

@@ -1,0 +1,171 @@
+"""Heap relations: the base tables of the engine.
+
+A :class:`HeapRelation` stores tuples in numbered slots.  Slot numbers are
+never reused, so a :class:`~repro.storage.tuples.TupleId` observed anywhere
+(a P-node, an α-memory, an undo log) either still names the same logical
+tuple or names nothing.  ``replace`` mutates a slot in place, preserving
+the TID, exactly the property the paper's ``replace'``/``delete'`` action
+commands rely on.
+
+Secondary indexes registered on the relation are maintained automatically
+by every mutation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.catalog.schema import Schema
+from repro.errors import StorageError
+from repro.storage.indexes import Index
+from repro.storage.tuples import StoredTuple, TupleId
+
+
+class HeapRelation:
+    """An in-memory relation with stable tuple identifiers."""
+
+    def __init__(self, name: str, schema: Schema):
+        self.name = name
+        self.schema = schema
+        self._slots: dict[int, tuple] = {}
+        self._next_slot = 0
+        self._indexes: dict[str, Index] = {}
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: tuple) -> TupleId:
+        """Append a tuple; returns its new TID."""
+        values = self.schema.coerce_values(tuple(values))
+        tid = TupleId(self.name, self._next_slot)
+        self._next_slot += 1
+        self._slots[tid.slot] = values
+        for index in self._indexes.values():
+            index.insert(index.key_of(values), tid)
+        return tid
+
+    def delete(self, tid: TupleId) -> tuple:
+        """Remove the tuple named by ``tid``; returns its last values."""
+        values = self._require(tid)
+        del self._slots[tid.slot]
+        for index in self._indexes.values():
+            index.delete(index.key_of(values), tid)
+        return values
+
+    def replace(self, tid: TupleId, new_values: tuple) -> tuple:
+        """Overwrite the tuple in place; returns the old values."""
+        old_values = self._require(tid)
+        new_values = self.schema.coerce_values(tuple(new_values))
+        self._slots[tid.slot] = new_values
+        for index in self._indexes.values():
+            old_key = index.key_of(old_values)
+            new_key = index.key_of(new_values)
+            if old_key != new_key:
+                index.delete(old_key, tid)
+                index.insert(new_key, tid)
+        return old_values
+
+    def restore(self, tid: TupleId, values: tuple) -> None:
+        """Re-create a previously deleted tuple under its original TID.
+
+        Used only by the undo machinery when rolling back a delete; normal
+        clients use :meth:`insert`.
+        """
+        if tid.relation != self.name:
+            raise StorageError(
+                f"TID {tid} does not belong to relation {self.name!r}")
+        if tid.slot in self._slots:
+            raise StorageError(f"restore over live slot {tid}")
+        values = self.schema.coerce_values(tuple(values))
+        self._slots[tid.slot] = values
+        self._next_slot = max(self._next_slot, tid.slot + 1)
+        for index in self._indexes.values():
+            index.insert(index.key_of(values), tid)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def get(self, tid: TupleId) -> tuple:
+        """Values of the tuple named by ``tid``."""
+        return self._require(tid)
+
+    def contains(self, tid: TupleId) -> bool:
+        """True if ``tid`` names a live tuple of this relation."""
+        return tid.relation == self.name and tid.slot in self._slots
+
+    def scan(self) -> Iterator[StoredTuple]:
+        """Yield every live tuple in slot order."""
+        for slot in sorted(self._slots):
+            yield StoredTuple(TupleId(self.name, slot), self._slots[slot])
+
+    def scan_where(self, predicate: Callable[[tuple], bool]
+                   ) -> Iterator[StoredTuple]:
+        """Yield tuples whose values satisfy ``predicate``."""
+        for stored in self.scan():
+            if predicate(stored.values):
+                yield stored
+
+    def fetch(self, tids) -> Iterator[StoredTuple]:
+        """Yield StoredTuples for the given TIDs (skipping dead ones)."""
+        for tid in tids:
+            values = self._slots.get(tid.slot)
+            if values is not None:
+                yield StoredTuple(tid, values)
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __repr__(self) -> str:
+        return f"HeapRelation({self.name!r}, {len(self)} tuples)"
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+
+    def attach_index(self, index: Index) -> None:
+        """Register a secondary index and bulk-load the current contents."""
+        if index.relation != self.name:
+            raise StorageError(
+                f"index {index.name!r} targets relation "
+                f"{index.relation!r}, not {self.name!r}")
+        if index.name in self._indexes:
+            raise StorageError(f"duplicate index name {index.name!r}")
+        for stored in self.scan():
+            index.insert(index.key_of(stored.values), stored.tid)
+        self._indexes[index.name] = index
+
+    def detach_index(self, name: str) -> Index:
+        """Unregister and return a secondary index."""
+        try:
+            return self._indexes.pop(name)
+        except KeyError:
+            raise StorageError(f"no index named {name!r}") from None
+
+    def indexes(self) -> tuple[Index, ...]:
+        """All indexes currently attached, in attach order."""
+        return tuple(self._indexes.values())
+
+    def index_on(self, attribute: str, kind: str | None = None
+                 ) -> Index | None:
+        """An index on the given attribute (of the given kind), if any."""
+        for index in self._indexes.values():
+            if index.attribute != attribute:
+                continue
+            if kind is None or index.kind == kind:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require(self, tid: TupleId) -> tuple:
+        if tid.relation != self.name:
+            raise StorageError(
+                f"TID {tid} does not belong to relation {self.name!r}")
+        try:
+            return self._slots[tid.slot]
+        except KeyError:
+            raise StorageError(f"dangling TID {tid}") from None

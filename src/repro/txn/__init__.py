@@ -1,0 +1,12 @@
+"""Transitions and transactions.
+
+A *transition* is "the changes in the database induced by either a single
+command, or a do … end block" (paper section 2.2.1) — the granularity at
+which rules wake up.  A *transaction* groups transitions with
+all-or-nothing undo.
+"""
+
+from repro.txn.transitions import TransitionHooks
+from repro.txn.undo import UndoLog
+
+__all__ = ["TransitionHooks", "UndoLog"]

@@ -1,0 +1,85 @@
+"""Transition hooks: the coupling between update processing and rules.
+
+These :class:`~repro.executor.executor.MutationHooks` are what make the
+engine *active*: every insert/delete/replace (1) applies to the heap,
+(2) is logged for undo, (3) updates the per-transition Δ-sets, which
+classify it into the paper's logical-event cases and emit tokens, and
+(4) routes those tokens through the discrimination network — all before
+control returns to the executor.  This is the tight coupling of rule
+condition testing with query and update processing the paper emphasises.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.catalog.catalog import Catalog
+from repro.core.deltasets import DeltaSets
+from repro.core.tokens import Token
+from repro.executor.executor import MutationHooks
+from repro.storage.tuples import TupleId
+from repro.txn.undo import UndoLog
+
+
+class TransitionHooks(MutationHooks):
+    """Heap mutation + undo logging + Δ-sets + token routing."""
+
+    def __init__(self, catalog: Catalog, deltasets: DeltaSets,
+                 route_token: Callable[[Token], None],
+                 undo: UndoLog | None = None):
+        self.catalog = catalog
+        self.deltasets = deltasets
+        self.route_token = route_token
+        # "undo or UndoLog()" would discard a passed-in empty log, since
+        # UndoLog defines __len__ and an empty log is falsy.
+        self.undo = undo if undo is not None else UndoLog()
+        #: diagnostics: tokens generated since construction
+        self.tokens_generated = 0
+
+    def insert(self, relation_name: str, values: tuple) -> TupleId:
+        relation = self.catalog.relation(relation_name)
+        tid = relation.insert(values)
+        stored = relation.get(tid)       # values after coercion
+        self.undo.record_insert(relation_name, tid, stored)
+        self._route(self.deltasets.record_insert(relation_name, tid,
+                                                 stored))
+        return tid
+
+    def delete(self, relation_name: str, tid: TupleId) -> tuple:
+        relation = self.catalog.relation(relation_name)
+        values = relation.delete(tid)
+        self.undo.record_delete(relation_name, tid, values)
+        self._route(self.deltasets.record_delete(relation_name, tid,
+                                                 values))
+        return values
+
+    def replace(self, relation_name: str, tid: TupleId,
+                new_values: tuple) -> tuple:
+        relation = self.catalog.relation(relation_name)
+        old_values = relation.replace(tid, new_values)
+        stored = relation.get(tid)
+        if stored == old_values:
+            # A no-op overwrite is not a modification: no tokens, no
+            # undo — the logical state did not change.
+            return old_values
+        self.undo.record_replace(relation_name, tid, old_values, stored)
+        self._route(self.deltasets.record_modify(relation_name, tid,
+                                                 old_values, stored))
+        return old_values
+
+    def restore(self, relation_name: str, tid: TupleId,
+                values: tuple) -> None:
+        """Re-create a deleted tuple under its original TID (undo only).
+
+        Routed through the Δ-sets as an insertion so the network stays
+        consistent; the undo driver disables further logging itself.
+        """
+        relation = self.catalog.relation(relation_name)
+        relation.restore(tid, values)
+        self._route(self.deltasets.record_insert(relation_name, tid,
+                                                 values))
+
+    def _route(self, tokens: list[Token]) -> None:
+        for token in tokens:
+            self.tokens_generated += 1
+            self.route_token(token)

@@ -1,0 +1,13 @@
+"""Shared pytest fixtures for the Ariel reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from hypothesis import settings
+
+# A leaner default profile: the suite has many property tests and the full
+# default of 100 examples each is reserved for CI-style runs.
+settings.register_profile("default", max_examples=60, deadline=None)
+settings.register_profile("thorough", max_examples=300, deadline=None)
+settings.load_profile("default")

@@ -1,0 +1,75 @@
+"""Property: an aborted transaction is observationally a no-op.
+
+For random update sequences split into a prefix and a transactional
+suffix, ``prefix; begin; suffix; abort`` must leave the database — data
+AND rule-network behavior — indistinguishable from running the prefix
+alone.  Behavioral equality is checked by applying a common probe
+workload to both databases afterwards and comparing everything again
+(DESIGN.md invariant 6, extended to the rule system)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+
+from tests.test_network_equivalence import RULES, apply_ops, _op
+
+
+def build(rules):
+    db = Database()
+    db.execute("create t (a = int4, k = int4)")
+    db.execute("create u (b = int4, k = int4)")
+    db.execute("create v (c = int4, k = int4)")
+    db.execute("create log (tag = text)")
+    for rule in rules:
+        db.execute(rule)
+    return db
+
+
+def state_of(db):
+    return {
+        "t": sorted(db.relation_rows("t")),
+        "u": sorted(db.relation_rows("u")),
+        "v": sorted(db.relation_rows("v")),
+        "log": sorted(db.relation_rows("log")),
+    }
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_op, min_size=0, max_size=8),
+       st.lists(_op, min_size=1, max_size=8),
+       st.lists(_op, min_size=1, max_size=5),
+       st.sets(st.integers(0, len(RULES) - 1), min_size=1, max_size=3))
+def test_abort_is_a_noop(prefix, suffix, probe, rule_indexes):
+    rules = [RULES[i] for i in sorted(rule_indexes)]
+    aborted = build(rules)
+    apply_ops(aborted, prefix)
+    aborted.begin()
+    apply_ops(aborted, suffix)
+    aborted.abort()
+
+    reference = build(rules)
+    apply_ops(reference, prefix)
+
+    assert state_of(aborted) == state_of(reference)
+
+    # Behavioral equality: the networks must react identically from here.
+    apply_ops(aborted, probe)
+    apply_ops(reference, probe)
+    assert state_of(aborted) == state_of(reference)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(_op, min_size=1, max_size=6),
+       st.sets(st.integers(0, len(RULES) - 1), min_size=1, max_size=3))
+def test_commit_then_more_work(ops, rule_indexes):
+    """Counterpart sanity: committed work equals autocommitted work."""
+    rules = [RULES[i] for i in sorted(rule_indexes)]
+    committed = build(rules)
+    committed.begin()
+    apply_ops(committed, ops)
+    committed.commit()
+
+    plain = build(rules)
+    apply_ops(plain, ops)
+
+    assert state_of(committed) == state_of(plain)

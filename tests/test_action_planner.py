@@ -1,0 +1,155 @@
+"""Tests for query modification display and rule-action planning."""
+
+import pytest
+
+from repro import Database
+from repro.core.action_planner import modified_action_text
+from repro.planner.plans import plan_operators
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script("""
+        create emp (name = text, age = int4, sal = float8,
+                    dno = int4, jno = int4)
+        create dept (dno = int4, name = text)
+        create job (jno = int4, title = text)
+        create salarywatch (name = text, age = int4, sal = float8,
+                            dno = int4, jno = int4)
+        create log (name = text)
+    """)
+    return database
+
+
+def compiled(db, name):
+    return db.manager.rule(name).compiled
+
+
+class TestQueryModificationText:
+    def test_paper_figure7(self, db):
+        """The SalesClerkRule2 example: the action after modification
+        must read like the paper's Figure 7."""
+        db.execute('define rule SalesClerkRule2 '
+                   'if emp.sal > 30000 and emp.jno = job.jno '
+                   'and job.title = "Clerk" '
+                   'then do '
+                   'append to salarywatch(emp.all) '
+                   'replace emp (sal = 30000) where emp.dno = dept.dno '
+                   'and dept.name = "Sales" '
+                   'replace emp (sal = 25000) where emp.dno = dept.dno '
+                   'and dept.name != "Sales" '
+                   'end')
+        text = modified_action_text(compiled(db, "SalesClerkRule2"))
+        assert "append to salarywatch (P.emp.name" in text
+        assert "replace' P.emp (sal = 30000) " \
+               "where P.emp.dno = dept.dno" in text
+        assert 'dept.name != "Sales"' in text
+        # dept does not appear in the condition: it stays unqualified
+        assert "P.dept" not in text
+
+    def test_delete_prime(self, db):
+        db.execute('define rule NoBobs on append emp '
+                   'if emp.name = "Bob" then delete emp')
+        text = modified_action_text(compiled(db, "NoBobs"))
+        assert text == "delete' P.emp"
+
+    def test_previous_kept(self, db):
+        db.execute("define rule raiselimit "
+                   "if emp.sal > 1.1 * previous emp.sal "
+                   "then append to log(name = emp.name) "
+                   "where previous emp.sal > 0")
+        text = modified_action_text(compiled(db, "raiselimit"))
+        assert "previous P.emp.sal > 0" in text
+
+    def test_unshared_command_untouched(self, db):
+        db.execute('define rule r if emp.sal > 5 '
+                   'then append to log(name = "fixed")')
+        text = modified_action_text(compiled(db, "r"))
+        assert "P." not in text
+
+    def test_halt_rendered(self, db):
+        db.execute("define rule r if emp.sal > 5 then do "
+                   "append to log(emp.name) halt end")
+        text = modified_action_text(compiled(db, "r"))
+        assert "halt" in text
+
+
+class TestActionPlans:
+    def test_pnodescan_in_action_plan(self, db):
+        """Firing a rule whose action references shared vars plans a
+        PnodeScan (paper Figure 8)."""
+        db.execute('define rule watch if emp.sal > 100 '
+                   'then append to log(emp.name)')
+        db.execute('append emp(name="A", age=1, sal=200, dno=1, jno=1)')
+        assert db.relation_rows("log") == [("A",)]
+        assert db.action_planner.plans_built >= 1
+
+    def test_unshared_action_runs_once_per_firing(self, db):
+        db.execute('define rule once if new(emp) '
+                   'then append to log(name = "tick")')
+        db.execute("do "
+                   'append emp(name="A", age=1, sal=1, dno=1, jno=1) '
+                   'append emp(name="B", age=1, sal=1, dno=1, jno=1) '
+                   "end")
+        # one firing (set-oriented), one command execution, one row
+        assert db.relation_rows("log") == [("tick",)]
+
+    def test_shared_action_runs_per_match(self, db):
+        db.execute('define rule each if new(emp) '
+                   'then append to log(emp.name)')
+        db.execute("do "
+                   'append emp(name="A", age=1, sal=1, dno=1, jno=1) '
+                   'append emp(name="B", age=1, sal=1, dno=1, jno=1) '
+                   "end")
+        assert sorted(db.relation_rows("log")) == [("A",), ("B",)]
+
+    def test_action_join_against_base_relation(self, db):
+        """Action joins the P-node with a relation not in the condition
+        (the dept join of SalesClerkRule2)."""
+        db.execute('append dept(dno=1, name="Sales")')
+        db.execute('define rule cap if emp.sal > 1000 '
+                   'then replace emp (sal = 1000) '
+                   'where emp.dno = dept.dno and dept.name = "Sales"')
+        db.execute('append emp(name="S", age=1, sal=9000, dno=1, jno=1)')
+        assert db.query("retrieve (emp.sal)").rows == [(1000.0,)]
+
+    def test_action_join_leaves_nonmatching(self, db):
+        db.execute('append dept(dno=1, name="Sales")')
+        db.execute('append dept(dno=2, name="Toy")')
+        db.execute('define rule cap if emp.sal > 1000 '
+                   'then replace emp (sal = 1000) '
+                   'where emp.dno = dept.dno and dept.name = "Sales"')
+        db.execute('append emp(name="T", age=1, sal=9000, dno=2, jno=1)')
+        assert db.query("retrieve (emp.sal)").rows == [(9000.0,)]
+
+
+class TestPlanCaching:
+    def make(self, cache):
+        db = Database(cache_action_plans=cache)
+        db.execute("create t (a = int4)")
+        db.execute("create log (a = int4)")
+        db.execute("define rule r on append t "
+                   "then append to log(a = t.a)")
+        return db
+
+    def test_always_reoptimize_builds_each_firing(self):
+        db = self.make(cache=False)
+        db.execute("append t(a = 1)")
+        db.execute("append t(a = 2)")
+        assert db.action_planner.plans_built == 2
+
+    def test_cached_builds_once(self):
+        db = self.make(cache=True)
+        db.execute("append t(a = 1)")
+        db.execute("append t(a = 2)")
+        assert db.action_planner.plans_built == 1
+        assert sorted(db.relation_rows("log")) == [(1,), (2,)]
+
+    def test_cache_invalidated_on_index_change(self):
+        db = self.make(cache=True)
+        db.execute("append t(a = 1)")
+        db.execute("define index ta on t (a)")
+        db.execute("append t(a = 2)")
+        assert db.action_planner.plans_built == 2
+        assert sorted(db.relation_rows("log")) == [(1,), (2,)]

@@ -1,0 +1,196 @@
+"""Unit tests for conflict resolution (Agenda) and the RuleManager."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.core.agenda import Agenda
+from repro.core.alpha import MemoryEntry
+from repro.core.manager import InstalledRule, RuleManager
+from repro.core.pnode import Match, PNode
+from repro.core.rules import CompiledRule
+from repro.errors import CatalogError, RuleError
+from repro.lang.parser import parse_command
+from repro.lang.semantic import SemanticAnalyzer
+from repro.storage.tuples import TupleId
+
+
+class _FakeRule:
+    def __init__(self, name, priority):
+        self.name = name
+        self.priority = priority
+
+
+def pnode_with(stamp):
+    pnode = PNode("r", ["t"])
+    entry = MemoryEntry(TupleId("t", 0), (1,))
+    pnode.insert(Match.of({"t": entry}), stamp)
+    return pnode
+
+
+class TestAgenda:
+    def test_empty_selects_none(self):
+        agenda = Agenda()
+        assert agenda.select({}, lambda n: None) is None
+
+    def test_priority_wins(self):
+        agenda = Agenda()
+        rules = {"low": _FakeRule("low", 1), "high": _FakeRule("high", 9)}
+        pnodes = {"low": pnode_with(100), "high": pnode_with(1)}
+        agenda.notify(rules["low"])
+        agenda.notify(rules["high"])
+        assert agenda.select(rules, pnodes.__getitem__).name == "high"
+
+    def test_recency_breaks_priority_ties(self):
+        agenda = Agenda()
+        rules = {"old": _FakeRule("old", 5), "new": _FakeRule("new", 5)}
+        pnodes = {"old": pnode_with(1), "new": pnode_with(2)}
+        agenda.notify(rules["old"])
+        agenda.notify(rules["new"])
+        assert agenda.select(rules, pnodes.__getitem__).name == "new"
+
+    def test_name_breaks_full_ties(self):
+        agenda = Agenda()
+        rules = {"a": _FakeRule("a", 5), "b": _FakeRule("b", 5)}
+        pnodes = {"a": pnode_with(1), "b": pnode_with(1)}
+        agenda.notify(rules["a"])
+        agenda.notify(rules["b"])
+        assert agenda.select(rules, pnodes.__getitem__).name == "b"
+
+    def test_drained_pnode_dropped(self):
+        agenda = Agenda()
+        rules = {"r": _FakeRule("r", 5)}
+        empty = PNode("r", ["t"])
+        agenda.notify(rules["r"])
+        assert agenda.select(rules, {"r": empty}.__getitem__) is None
+        assert len(agenda) == 0
+
+    def test_unknown_rule_dropped(self):
+        agenda = Agenda()
+        agenda.notify(_FakeRule("gone", 1))
+        assert agenda.select({}, lambda n: None) is None
+        assert len(agenda) == 0
+
+    def test_discard_and_clear(self):
+        agenda = Agenda()
+        agenda.notify(_FakeRule("a", 1))
+        agenda.notify(_FakeRule("b", 1))
+        agenda.discard("a")
+        assert len(agenda) == 1
+        agenda.clear()
+        assert len(agenda) == 0
+
+
+@pytest.fixture
+def manager():
+    catalog = Catalog()
+    catalog.create_relation("t", Schema.of(a="int"))
+    catalog.create_relation("log", Schema.of(a="int"))
+    analyzer = SemanticAnalyzer(catalog)
+    mgr = RuleManager(catalog)
+    return catalog, analyzer, mgr
+
+
+def define(analyzer, text):
+    return analyzer.analyze(parse_command(text))
+
+
+RULE = "define rule r1 if t.a > 5 then append to log(t.a)"
+
+
+class TestRuleManager:
+    def test_install_without_activation(self, manager):
+        catalog, analyzer, mgr = manager
+        record = mgr.install(define(analyzer, RULE))
+        assert isinstance(record, InstalledRule)
+        assert not record.active
+        assert catalog.has_rule("r1")
+        assert "r1" not in mgr.active_rules()
+
+    def test_activate(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.install(define(analyzer, RULE))
+        compiled = mgr.activate("r1")
+        assert isinstance(compiled, CompiledRule)
+        assert mgr.rule("r1").active
+        assert "r1" in mgr.active_rules()
+
+    def test_define_activates_by_default(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.define(define(analyzer, RULE))
+        assert mgr.rule("r1").active
+
+    def test_define_without_activation(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.define(define(analyzer, RULE), activate=False)
+        assert not mgr.rule("r1").active
+
+    def test_double_activate_rejected(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.define(define(analyzer, RULE))
+        with pytest.raises(RuleError):
+            mgr.activate("r1")
+
+    def test_deactivate_then_remove(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.define(define(analyzer, RULE))
+        mgr.deactivate("r1")
+        assert not mgr.rule("r1").active
+        mgr.remove("r1")
+        assert not catalog.has_rule("r1")
+
+    def test_remove_active_rule_deactivates_first(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.define(define(analyzer, RULE))
+        mgr.remove("r1")
+        assert not catalog.has_rule("r1")
+        assert len(mgr.network.selection_index) == 0
+
+    def test_duplicate_install_rejected(self, manager):
+        catalog, analyzer, mgr = manager
+        first = define(analyzer, RULE)
+        mgr.install(first)
+        # caught at analysis time...
+        from repro.errors import SemanticError
+        with pytest.raises(SemanticError):
+            define(analyzer, RULE)
+        # ...and at the catalog for a pre-analyzed duplicate tree
+        with pytest.raises(CatalogError):
+            mgr.install(first)
+
+    def test_missing_rule_operations(self, manager):
+        catalog, analyzer, mgr = manager
+        with pytest.raises(CatalogError):
+            mgr.activate("nothere")
+        with pytest.raises(CatalogError):
+            mgr.remove("nothere")
+
+    def test_non_rule_catalog_entry_rejected(self, manager):
+        catalog, analyzer, mgr = manager
+        catalog.store_rule("impostor", object())
+        with pytest.raises(RuleError):
+            mgr.activate("impostor")
+
+    def test_consume_matches_clears_agenda(self, manager):
+        catalog, analyzer, mgr = manager
+        catalog.relation("t").insert((10,))
+        mgr.define(define(analyzer, RULE))
+        rule = mgr.select_rule()
+        assert rule is not None and rule.name == "r1"
+        matches = mgr.consume_matches(rule)
+        assert len(matches) == 1
+        assert mgr.select_rule() is None
+
+    def test_halt_flag_reset_by_end_of_processing(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.halt()
+        assert mgr.halted
+        mgr.end_of_rule_processing()
+        assert not mgr.halted
+
+    def test_installed_rules_listing(self, manager):
+        catalog, analyzer, mgr = manager
+        mgr.define(define(analyzer, RULE))
+        mgr.install(define(analyzer, RULE.replace("r1", "r2")))
+        names = {r.name for r in mgr.installed_rules()}
+        assert names == {"r1", "r2"}

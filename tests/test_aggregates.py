@@ -1,0 +1,150 @@
+"""Tests for aggregates with POSTQUEL implicit grouping."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.ast_nodes import deparse
+from repro.lang.parser import parse_command
+from tests.helpers import paper_engine
+
+
+@pytest.fixture
+def engine():
+    return paper_engine()
+
+
+class TestGlobalAggregates:
+    def test_count_rows(self, engine):
+        result = engine.run("retrieve (n = count(emp.all))")
+        assert result.rows == [(25,)]
+        assert result.columns == ("n",)
+
+    def test_count_attribute(self, engine):
+        engine.run('append emp(name="noage")')
+        result = engine.run("retrieve (count(emp.age), count(emp.all))")
+        assert result.rows == [(25, 26)]     # nulls skipped by count(attr)
+
+    def test_sum_avg(self, engine):
+        result = engine.run("retrieve (s = sum(emp.sal), "
+                            "a = avg(emp.sal))")
+        total = sum(20000 + 2000 * i for i in range(25))
+        assert result.rows == [(float(total), total / 25)]
+
+    def test_min_max(self, engine):
+        result = engine.run("retrieve (lo = min(emp.sal), "
+                            "hi = max(emp.sal))")
+        assert result.rows == [(20000.0, 68000.0)]
+
+    def test_min_max_text(self, engine):
+        result = engine.run("retrieve (first = min(dept.name))")
+        assert result.rows == [("Accounting",)]
+
+    def test_aggregate_with_where(self, engine):
+        result = engine.run("retrieve (n = count(emp.all)) "
+                            "where emp.sal > 60000")
+        assert result.rows == [(4,)]
+
+    def test_empty_input_semantics(self, engine):
+        result = engine.run("retrieve (n = count(emp.all), "
+                            "s = sum(emp.sal), a = avg(emp.sal), "
+                            "lo = min(emp.sal)) where emp.sal > 10000000")
+        assert result.rows == [(0, None, None, None)]
+
+    def test_expression_over_aggregates(self, engine):
+        result = engine.run("retrieve (span = max(emp.age) - "
+                            "min(emp.age))")
+        assert result.rows == [(24,)]
+
+    def test_aggregate_of_expression(self, engine):
+        result = engine.run("retrieve (s = sum(emp.sal * 2)) "
+                            "where emp.sal <= 22000")
+        assert result.rows == [(84000.0,)]   # (20000 + 22000) * 2
+
+    def test_default_column_name(self, engine):
+        result = engine.run("retrieve (count(emp.all))")
+        assert result.columns == ("count",)
+
+
+class TestGroupedAggregates:
+    def test_group_by_implicit(self, engine):
+        result = engine.run("retrieve (emp.jno, n = count(emp.all))")
+        assert sorted(result.rows) == [(1, 5), (2, 5), (3, 5), (4, 5),
+                                       (5, 5)]
+
+    def test_group_with_join(self, engine):
+        result = engine.run(
+            "retrieve (dept.name, n = count(emp.all)) "
+            "where emp.dno = dept.dno and dept.dno <= 2")
+        assert sorted(result.rows) == [("Sales", 4), ("Toy", 4)]
+
+    def test_group_avg(self, engine):
+        result = engine.run("retrieve (emp.jno, a = avg(emp.sal)) "
+                            "where emp.jno <= 2")
+        rows = dict(result.rows)
+        # jno=1: i in 0,5,10,15,20 -> sal 20000+2000i
+        assert rows[1] == pytest.approx(
+            sum(20000 + 2000 * i for i in (0, 5, 10, 15, 20)) / 5)
+
+    def test_multiple_group_keys(self, engine):
+        result = engine.run("retrieve (emp.dno, emp.jno, "
+                            "n = count(emp.all)) where emp.dno = 1")
+        assert all(r[0] == 1 for r in result.rows)
+        assert sum(r[2] for r in result.rows) == 4
+
+    def test_group_key_expression(self, engine):
+        result = engine.run("retrieve (bucket = emp.age / 10, "
+                            "n = count(emp.all))")
+        assert sum(n for _, n in result.rows) == 25
+
+    def test_retrieve_into_aggregated(self, engine):
+        engine.run("retrieve into stats (emp.jno, n = count(emp.all))")
+        assert len(engine.catalog.relation("stats")) == 5
+
+
+class TestAggregateErrors:
+    def test_aggregate_in_where_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("retrieve (emp.name) "
+                       "where count(emp.all) > 5")
+
+    def test_aggregate_in_append_rejected(self, engine):
+        engine.run("create t (n = int4)")
+        with pytest.raises(SemanticError):
+            engine.run("append t(n = count(emp.all))")
+
+    def test_nested_aggregate_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("retrieve (x = sum(count(emp.all)))")
+
+    def test_mixed_bare_attr_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("retrieve (x = emp.sal + count(emp.all))")
+
+    def test_sum_of_text_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("retrieve (x = sum(emp.name))")
+
+    def test_sum_of_all_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("retrieve (x = sum(emp.all))")
+
+    def test_sort_by_on_aggregated_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("retrieve (emp.jno, n = count(emp.all)) "
+                       "sort by emp.jno")
+
+    def test_aggregate_in_rule_condition_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.analyzer.analyze(parse_command(
+                "define rule r if count(emp.all) > 5 then delete emp"))
+
+
+class TestDeparse:
+    @pytest.mark.parametrize("text", [
+        "retrieve (count(emp.all))",
+        "retrieve (emp.dno, s = sum(emp.sal))",
+        "retrieve (x = max(emp.age) - min(emp.age))",
+    ])
+    def test_round_trip(self, text):
+        tree = parse_command(text)
+        assert parse_command(deparse(tree)) == tree

@@ -1,0 +1,211 @@
+"""Tests for the interactive shell and introspection helpers."""
+
+import io
+
+import pytest
+
+from repro import Database
+from repro.cli import Shell
+from repro.core.introspect import describe_rule, network_summary
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    sh = Shell(Database(), out=out)
+    return sh, out
+
+
+def feed_lines(sh, *lines):
+    for line in lines:
+        alive = sh.feed(line)
+    return alive
+
+
+def output_of(out):
+    return out.getvalue()
+
+
+class TestShellCommands:
+    def test_create_and_retrieve(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "append t(a = 5);",
+                   "retrieve (t.a);")
+        text = output_of(out)
+        assert "ok" in text
+        assert "1 tuple(s) affected" in text
+        assert "5" in text
+        assert "(1 row(s))" in text
+
+    def test_multiline_with_blank_terminator(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4)", "")
+        assert "ok" in output_of(out)
+
+    def test_do_block_gathers_until_end(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "do",
+                   "append t(a = 1)",
+                   "append t(a = 2)",
+                   "end;")
+        assert "2" not in output_of(out).split("ok")[0]
+        feed_lines(sh, "retrieve (t.a);")
+        assert "(2 row(s))" in output_of(out)
+
+    def test_rule_definition_with_semicolon(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "define rule r if t.a > 5 then delete t;",
+                   "append t(a = 9);",
+                   "retrieve (t.a);")
+        assert "(0 row(s))" in output_of(out)
+
+    def test_error_reported_not_raised(self, shell):
+        sh, out = shell
+        feed_lines(sh, "retrieve (missing.a);")
+        assert "error:" in output_of(out)
+
+    def test_parse_error_reported(self, shell):
+        sh, out = shell
+        feed_lines(sh, "frobnicate;")
+        assert "error:" in output_of(out)
+
+    def test_quit(self, shell):
+        sh, out = shell
+        assert sh.feed("\\q") is False
+
+
+class TestMetaCommands:
+    def test_describe_relations(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create emp (name = text, sal = float8);",
+                   "\\d")
+        assert "emp" in output_of(out)
+
+    def test_describe_one_relation(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create emp (name = text, sal = float8);",
+                   "define index isal on emp (sal);",
+                   "\\d emp")
+        text = output_of(out)
+        assert "name" in text and "float8" in text
+        assert "index isal" in text
+
+    def test_rules_listing(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "define rule r if t.a > 5 then delete t;",
+                   "\\rules")
+        text = output_of(out)
+        assert "r" in text and "active" in text
+
+    def test_rule_description(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "define rule r if t.a > 5 then delete t;",
+                   "\\rule r")
+        text = output_of(out)
+        assert "simple-α" in text
+        assert "delete' P.t" in text
+
+    def test_explain(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "\\explain retrieve (t.a) where t.a = 1")
+        assert "SeqScan" in output_of(out)
+
+    def test_transaction_meta(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "\\begin",
+                   "append t(a = 1);",
+                   "\\abort",
+                   "retrieve (t.a);")
+        assert "(0 row(s))" in output_of(out)
+
+    def test_net(self, shell):
+        sh, out = shell
+        feed_lines(sh, "\\net")
+        assert "network=A-TREAT" in output_of(out)
+
+    def test_unknown_meta(self, shell):
+        sh, out = shell
+        feed_lines(sh, "\\bogus")
+        assert "unknown meta-command" in output_of(out)
+
+    def test_meta_error_reported(self, shell):
+        sh, out = shell
+        feed_lines(sh, "\\rule nothere")
+        assert "error:" in output_of(out)
+
+
+class TestIntrospection:
+    def make_db(self):
+        db = Database()
+        db.execute_script("""
+            create emp (name = text, sal = float8, dno = int4)
+            create dept (dno = int4, name = text)
+            create log (name = text)
+        """)
+        return db
+
+    def test_describe_active_rule(self):
+        db = self.make_db()
+        db.execute('define rule r priority 3 '
+                   'if emp.sal > 1000 and emp.dno = dept.dno '
+                   'and dept.name = "Toy" '
+                   'then append to log(emp.name)')
+        text = describe_rule(db.manager, "r")
+        assert "priority: 3.0" in text
+        assert "anchor sal in (1000" in text
+        assert "joins: emp.dno = dept.dno" in text
+        assert "P-node: 0 match(es)" in text
+        assert "append to log (P.emp.name)" in text
+
+    def test_describe_installed_rule(self):
+        db = self.make_db()
+        db.execute("define rule r if emp.sal > 1 then delete emp")
+        db.execute("deactivate rule r")
+        text = describe_rule(db.manager, "r")
+        assert "installed" in text
+        assert "then:" in text
+
+    def test_describe_event_rule(self):
+        db = self.make_db()
+        db.execute("define rule r on replace emp(sal) "
+                   "then append to log(emp.name)")
+        text = describe_rule(db.manager, "r")
+        assert "event:    on replace emp (sal)" in text
+        assert "dynamic-on" in text or "simple-on" in text
+
+    def test_network_summary(self):
+        db = self.make_db()
+        db.execute("define rule r if emp.sal > 1 then delete emp")
+        db.execute('append emp(name="a", sal=5.0, dno=1)')
+        text = network_summary(db.manager)
+        assert "network: A-TREAT" in text
+        assert "anchored predicate(s)" in text
+        assert "tokens processed:" in text
+
+    def test_network_summary_empty(self):
+        db = self.make_db()
+        assert "no rules installed" in network_summary(db.manager)
+
+
+class TestMain:
+    def test_script_loading(self, tmp_path, monkeypatch):
+        from repro import cli
+        script = tmp_path / "setup.arl"
+        script.write_text("create t (a = int4)\nappend t(a = 1)\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO("\\q\n"))
+        assert cli.main([str(script)]) == 0
+
+    def test_script_error(self, tmp_path, monkeypatch, capsys):
+        from repro import cli
+        script = tmp_path / "bad.arl"
+        script.write_text("frobnicate\n")
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert cli.main([str(script)]) == 1
+        assert "error loading" in capsys.readouterr().err

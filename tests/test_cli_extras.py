@@ -1,0 +1,78 @@
+"""Tests for the added shell meta-commands (\\trace, \\dump, \\load) and
+the demo script."""
+
+import io
+import pathlib
+
+import pytest
+
+from repro import Database
+from repro.cli import Shell
+
+
+@pytest.fixture
+def shell():
+    out = io.StringIO()
+    return Shell(Database(), out=out), out
+
+
+def feed(sh, *lines):
+    for line in lines:
+        sh.feed(line)
+
+
+class TestTraceMeta:
+    def test_empty_trace(self, shell):
+        sh, out = shell
+        feed(sh, "\\trace")
+        assert "no firings recorded" in out.getvalue()
+
+    def test_trace_shows_firings(self, shell):
+        sh, out = shell
+        feed(sh, "create t (a = int4);",
+             "define rule r on append t then delete t;",
+             "append t(a = 1);",
+             "\\trace")
+        assert "#1 r" in out.getvalue()
+
+
+class TestDumpLoadMeta:
+    def test_dump_and_load(self, shell, tmp_path):
+        sh, out = shell
+        path = tmp_path / "db.arl"
+        feed(sh, "create t (a = int4);",
+             "append t(a = 7);",
+             f"\\dump {path}",
+             f"\\load {path}",
+             "retrieve (t.a);")
+        text = out.getvalue()
+        assert "dumped to" in text
+        assert "loaded" in text
+        assert "(1 row(s))" in text
+
+    def test_usage_messages(self, shell):
+        sh, out = shell
+        feed(sh, "\\dump", "\\load")
+        assert out.getvalue().count("usage:") == 2
+
+    def test_load_error_reported(self, shell):
+        sh, out = shell
+        feed(sh, "\\load /nonexistent/path.arl")
+        assert "error:" in out.getvalue()
+        assert sh.feed("\\net") is True      # shell survives
+
+
+class TestDemoScript:
+    def test_demo_script_loads(self):
+        demo = pathlib.Path(__file__).parent.parent / "examples" \
+            / "demo.arl"
+        db = Database()
+        db.execute_script(demo.read_text())
+        assert db.catalog.has_rule("NoBobs")
+        assert db.catalog.has_rule("raiselimit")
+        assert db.catalog.has_rule("finddemotions")
+        assert len(db.relation_rows("emp")) == 4
+        # the rules actually work post-load
+        db.execute('replace emp (sal = 99000) where emp.name = "Ann"')
+        assert db.relation_rows("salaryerror") == [
+            ("Ann", 52000.0, 99000.0)]

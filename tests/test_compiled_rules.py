@@ -1,0 +1,213 @@
+"""Tests for CompiledRule: variable classification, gating, actions."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.core.rules import CompiledRule
+from repro.errors import RuleError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_command
+from repro.lang.semantic import SemanticAnalyzer
+
+
+@pytest.fixture
+def env():
+    catalog = Catalog()
+    catalog.create_relation("emp", Schema.of(
+        name="text", age="int", sal="float", dno="int", jno="int"))
+    catalog.create_relation("dept", Schema.of(dno="int", name="text"))
+    catalog.create_relation("job", Schema.of(
+        jno="int", title="text", paygrade="int"))
+    catalog.create_relation("log", Schema.of(name="text"))
+    return catalog, SemanticAnalyzer(catalog)
+
+
+def compile_rule(env, text):
+    catalog, analyzer = env
+    cmd = analyzer.analyze(parse_command(text))
+    return CompiledRule(cmd, catalog)
+
+
+class TestVariableClassification:
+    def test_single_var_is_simple(self, env):
+        rule = compile_rule(env, 'define rule r if emp.sal > 5 '
+                                 'then append to log(emp.name)')
+        assert rule.variables == ["emp"]
+        assert rule.specs["emp"].is_simple
+        assert not rule.specs["emp"].is_dynamic
+
+    def test_multi_var_not_simple(self, env):
+        rule = compile_rule(env, "define rule r if emp.dno = dept.dno "
+                                 "then append to log(emp.name)")
+        assert not rule.specs["emp"].is_simple
+        assert rule.variables == ["dept", "emp"]
+
+    def test_event_var_gated(self, env):
+        rule = compile_rule(env, "define rule r on append emp "
+                                 "if emp.sal > 5 and emp.dno = dept.dno "
+                                 "then append to log(emp.name)")
+        assert rule.specs["emp"].event is not None
+        assert rule.specs["emp"].is_dynamic
+        assert rule.specs["dept"].event is None
+        assert not rule.specs["dept"].is_dynamic
+
+    def test_transition_var_gated(self, env):
+        rule = compile_rule(env,
+                            "define rule r if emp.sal > previous emp.sal "
+                            "then append to log(emp.name)")
+        assert rule.specs["emp"].is_transition
+        assert rule.specs["emp"].is_dynamic
+
+    def test_new_var_gated(self, env):
+        rule = compile_rule(env, "define rule r if new(emp) "
+                                 "then append to log(emp.name)")
+        assert rule.specs["emp"].is_new
+        assert rule.specs["emp"].is_dynamic
+
+    def test_finddemotions_classification(self, env):
+        rule = compile_rule(
+            env,
+            "define rule fd on replace emp(jno) "
+            "if newjob.jno = emp.jno and oldjob.jno = previous emp.jno "
+            "and newjob.paygrade < oldjob.paygrade "
+            "from oldjob in job, newjob in job "
+            "then append to log(emp.name)")
+        assert rule.variables == ["emp", "newjob", "oldjob"]
+        emp = rule.specs["emp"]
+        assert emp.event is not None and emp.is_transition
+        assert not rule.specs["oldjob"].is_dynamic
+        assert rule.var_relations == {
+            "emp": "emp", "oldjob": "job", "newjob": "job"}
+        assert len(rule.joins) == 3
+        assert rule.has_dynamic_variable
+        assert rule.dynamic_variables == ["emp"]
+
+    def test_referenced_relations(self, env):
+        rule = compile_rule(
+            env, "define rule r if emp.dno = dept.dno "
+                 "then append to log(emp.name)")
+        assert rule.referenced_relations == frozenset({"emp", "dept"})
+
+
+class TestSelectionsAndJoins:
+    def test_selection_anchor_extracted(self, env):
+        rule = compile_rule(env,
+                            "define rule r if 30000 < emp.sal and "
+                            "emp.sal <= 40000 and emp.dno = dept.dno "
+                            "then append to log(emp.name)")
+        anchor = rule.specs["emp"].analysis.anchor
+        assert anchor.attr == "sal"
+        assert anchor.interval.low == 30000
+        assert not anchor.interval.low_closed
+        assert rule.specs["emp"].residual is None
+
+    def test_residual_predicate(self, env):
+        rule = compile_rule(env,
+                            'define rule r if emp.sal > 5 and '
+                            'emp.name != "Bob" '
+                            'then append to log(emp.name)')
+        spec = rule.specs["emp"]
+        assert spec.analysis.anchor is not None
+        assert spec.residual is not None
+        assert spec.residual_matches(("Ann", 1, 10.0, 1, 1), None)
+        assert not spec.residual_matches(("Bob", 1, 10.0, 1, 1), None)
+
+    def test_selection_matches_full_predicate(self, env):
+        rule = compile_rule(env,
+                            'define rule r if emp.sal > 5 and '
+                            'emp.name != "Bob" '
+                            'then append to log(emp.name)')
+        spec = rule.specs["emp"]
+        assert spec.selection_matches(("Ann", 1, 10.0, 1, 1), None)
+        assert not spec.selection_matches(("Ann", 1, 1.0, 1, 1), None)
+
+    def test_unsatisfiable_selection_rejected(self, env):
+        with pytest.raises(RuleError):
+            compile_rule(env, "define rule r if emp.sal > 10 and "
+                              "emp.sal < 5 then append to log(emp.name)")
+
+    def test_false_constant_rejected(self, env):
+        with pytest.raises(RuleError):
+            compile_rule(env, "define rule r if 1 = 2 and emp.sal > 0 "
+                              "then append to log(emp.name)")
+
+    def test_join_order_prefers_connected(self, env):
+        rule = compile_rule(
+            env,
+            'define rule r if emp.dno = dept.dno and emp.jno = job.jno '
+            'and dept.name = "Sales" then append to log(emp.name)')
+        order = rule.join_order_from("dept")
+        # emp connects to dept; job connects only through emp
+        assert order == ["emp", "job"]
+
+    def test_applicable_joins(self, env):
+        rule = compile_rule(
+            env,
+            "define rule r if emp.dno = dept.dno and emp.jno = job.jno "
+            "then append to log(emp.name)")
+        assert len(rule.applicable_joins({"emp", "dept"})) == 1
+        assert len(rule.applicable_joins({"emp", "dept", "job"})) == 2
+        assert rule.applicable_joins({"dept", "job"}) == []
+
+
+class TestActions:
+    def test_block_flattened(self, env):
+        rule = compile_rule(
+            env,
+            "define rule r if emp.sal > 5 then do "
+            "append to log(emp.name) "
+            "delete emp "
+            "end")
+        assert len(rule.actions) == 2
+        assert rule.actions[0].shared_vars == frozenset({"emp"})
+        assert rule.actions[1].targets_pnode
+
+    def test_shared_vars_detection(self, env):
+        rule = compile_rule(
+            env,
+            "define rule r if emp.dno = dept.dno then "
+            "append to log(name = dept.name)")
+        assert rule.actions[0].shared_vars == frozenset({"dept"})
+
+    def test_unshared_action_command(self, env):
+        rule = compile_rule(
+            env,
+            'define rule r if emp.sal > 5 then '
+            'append to log(name = "constant")')
+        assert rule.actions[0].shared_vars == frozenset()
+        assert not rule.actions[0].targets_pnode
+
+    def test_replace_of_unshared_var_not_primed(self, env):
+        rule = compile_rule(
+            env,
+            "define rule r if emp.sal > 5 then "
+            "replace dept (name = emp.name) where dept.dno = emp.dno")
+        assert not rule.actions[0].targets_pnode
+        assert rule.actions[0].shared_vars == frozenset({"emp"})
+
+    def test_previous_in_action_requires_pair(self, env):
+        with pytest.raises(RuleError):
+            compile_rule(env,
+                         "define rule r if emp.sal > 5 then "
+                         "append to log(name = emp.name) "
+                         "where previous emp.sal > 1")
+
+    def test_previous_in_action_ok_with_transition(self, env):
+        rule = compile_rule(
+            env,
+            "define rule r if emp.sal > previous emp.sal then "
+            "append to log(emp.name) where previous emp.sal > 0")
+        assert rule.specs["emp"].is_transition
+
+    def test_previous_in_action_ok_with_replace_event(self, env):
+        rule = compile_rule(
+            env,
+            "define rule r on replace emp(sal) then "
+            "append to log(emp.name) where previous emp.sal > 0")
+        assert rule.specs["emp"].event is not None
+
+    def test_halt_action(self, env):
+        rule = compile_rule(env, "define rule r if emp.sal > 5 then do "
+                                 "append to log(emp.name) halt end")
+        assert rule.actions[1].command == ast.Halt()

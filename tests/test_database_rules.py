@@ -1,0 +1,458 @@
+"""Integration tests: the paper's rules running end to end.
+
+Every example rule in the paper appears here, across all three network
+implementations (A-TREAT, plain TREAT, Rete).
+"""
+
+import pytest
+
+from repro import Database, RuleError, RuleLoopError
+from repro.errors import CatalogError, ExecutionError, SemanticError
+
+
+NETWORKS = ["a-treat", "treat", "rete"]
+
+
+@pytest.fixture(params=NETWORKS)
+def db(request):
+    """A database with the paper's schema, parameterised over networks."""
+    database = Database(network=request.param)
+    database.execute_script("""
+        create emp (name = text, age = int4, sal = float8,
+                    dno = int4, jno = int4)
+        create dept (dno = int4, name = text, building = text)
+        create job (jno = int4, title = text, paygrade = int4)
+        create salaryerror (name = text, oldsal = float8, newsal = float8)
+        create demotions (name = text, dno = int4, oldjno = int4,
+                          newjno = int4)
+        create log (name = text)
+        append dept(dno=1, name="Toy", building="A")
+        append dept(dno=2, name="Sales", building="B")
+        append dept(dno=3, name="Research", building="C")
+        append job(jno=1, title="Clerk", paygrade=3)
+        append job(jno=2, title="Engineer", paygrade=6)
+        append job(jno=3, title="Manager", paygrade=8)
+    """)
+    return database
+
+
+def names(db, relation="emp"):
+    return sorted(v[0] for v in db.relation_rows(relation))
+
+
+class TestNoBobs:
+    """The paper's on-append event rule (section 2.2.2)."""
+
+    RULE = ('define rule NoBobs on append emp if emp.name = "Bob" '
+            'then delete emp')
+
+    def test_direct_append_triggers(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Bob", age=1, sal=1, dno=1, jno=1)')
+        assert names(db) == []
+
+    def test_other_names_kept(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=1, dno=1, jno=1)')
+        assert names(db) == ["Ann"]
+
+    def test_logical_event_block(self, db):
+        """The paper's key example: append then rename to Bob inside a
+        block is one logical append of a Bob."""
+        db.execute(self.RULE)
+        db.execute('do '
+                   'append emp(name="X", age=27, sal=55000, dno=1, jno=1) '
+                   'replace emp (name="Bob") where emp.name = "X" '
+                   'end')
+        assert names(db) == []
+
+    def test_physical_interpretation_would_miss(self, db):
+        """Outside a block the two commands are separate transitions: the
+        append (of X) does not match, and the replace is not an append
+        event — NoBobs does NOT fire (the paper's motivation for
+        preferring the pattern-based NoBobs2)."""
+        db.execute(self.RULE)
+        db.execute('append emp(name="X", age=27, sal=55000, dno=1, jno=1)')
+        db.execute('replace emp (name="Bob") where emp.name = "X"')
+        assert names(db) == ["Bob"]
+
+    def test_rename_away_within_block_not_triggered(self, db):
+        db.execute(self.RULE)
+        db.execute('do '
+                   'append emp(name="Bob", age=1, sal=1, dno=1, jno=1) '
+                   'replace emp (name="Robert") where emp.name = "Bob" '
+                   'end')
+        assert names(db) == ["Robert"]
+
+    def test_append_delete_in_block_is_net_nothing(self, db):
+        db.execute(self.RULE)
+        db.execute('do '
+                   'append emp(name="Bob", age=1, sal=1, dno=1, jno=1) '
+                   'delete emp where emp.name = "Bob" '
+                   'end')
+        assert names(db) == []
+        assert db.firings == 0
+
+
+class TestNoBobs2:
+    """The pattern-based variant: fires on any Bob however created."""
+
+    RULE = 'define rule NoBobs2 if emp.name = "Bob" then delete emp'
+
+    def test_append_triggers(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Bob", age=1, sal=1, dno=1, jno=1)')
+        assert names(db) == []
+
+    def test_replace_triggers(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="X", age=1, sal=1, dno=1, jno=1)')
+        db.execute('replace emp (name="Bob") where emp.name = "X"')
+        assert names(db) == []
+
+    def test_activation_primes_existing_bobs(self, db):
+        """A pattern rule fires on pre-existing matching data when
+        activated (P-node priming, paper section 6)."""
+        db.execute('append emp(name="Bob", age=1, sal=1, dno=1, jno=1)')
+        db.execute(self.RULE)
+        assert names(db) == []
+
+
+class TestRaiseLimit:
+    """Transition condition with previous (paper section 2.3)."""
+
+    RULE = ("define rule raiselimit "
+            "if emp.sal > 1.1 * previous emp.sal "
+            "then append to salaryerror(emp.name, previous emp.sal, "
+            "emp.sal)")
+
+    def test_large_raise_logged(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=50000, dno=1, '
+                   'jno=1)')
+        db.execute('replace emp (sal = 60000) where emp.name = "Ann"')
+        assert db.relation_rows("salaryerror") == [
+            ("Ann", 50000.0, 60000.0)]
+
+    def test_small_raise_ignored(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=50000, dno=1, '
+                   'jno=1)')
+        db.execute('replace emp (sal = 54000) where emp.name = "Ann"')
+        assert db.relation_rows("salaryerror") == []
+
+    def test_appends_do_not_trigger(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Rich", age=1, sal=999999, dno=1, '
+                   'jno=1)')
+        assert db.relation_rows("salaryerror") == []
+
+    def test_net_raise_across_block(self, db):
+        """Two +5% raises in one block are one +10.25% logical raise."""
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=50000, dno=1, '
+                   'jno=1)')
+        db.execute('do '
+                   'replace emp (sal = emp.sal * 1.05) '
+                   'where emp.name = "Ann" '
+                   'replace emp (sal = emp.sal * 1.05) '
+                   'where emp.name = "Ann" '
+                   'end')
+        rows = db.relation_rows("salaryerror")
+        assert len(rows) == 1
+        assert rows[0][1] == 50000.0          # previous = transition start
+
+    def test_raise_then_lower_in_block_no_trigger(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=50000, dno=1, '
+                   'jno=1)')
+        db.execute('do '
+                   'replace emp (sal = 90000) where emp.name = "Ann" '
+                   'replace emp (sal = 50500) where emp.name = "Ann" '
+                   'end')
+        assert db.relation_rows("salaryerror") == []
+
+
+class TestToyRaiseLimit:
+    """Transition + pattern join (paper section 2.3)."""
+
+    RULE = ('define rule toyraiselimit '
+            'if emp.sal > 1.1 * previous emp.sal '
+            'and emp.dno = dept.dno and dept.name = "Toy" '
+            'then append to salaryerror(emp.name, previous emp.sal, '
+            'emp.sal)')
+
+    def test_toy_employee_triggers(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="T", age=1, sal=100, dno=1, jno=1)')
+        db.execute('replace emp (sal = 200) where emp.name = "T"')
+        assert len(db.relation_rows("salaryerror")) == 1
+
+    def test_sales_employee_does_not(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="S", age=1, sal=100, dno=2, jno=1)')
+        db.execute('replace emp (sal = 200) where emp.name = "S"')
+        assert db.relation_rows("salaryerror") == []
+
+
+class TestFindDemotions:
+    """Event + transition + pattern with a double self-join on job."""
+
+    RULE = ("define rule finddemotions on replace emp(jno) "
+            "if newjob.jno = emp.jno "
+            "and oldjob.jno = previous emp.jno "
+            "and newjob.paygrade < oldjob.paygrade "
+            "from oldjob in job, newjob in job "
+            "then append to demotions (name=emp.name, dno=emp.dno, "
+            "oldjno=oldjob.jno, newjno=newjob.jno)")
+
+    def test_demotion_logged(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=1, dno=1, jno=3)')
+        db.execute('replace emp (jno = 1) where emp.name = "Ann"')
+        assert db.relation_rows("demotions") == [("Ann", 1, 3, 1)]
+
+    def test_promotion_not_logged(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=1, dno=1, jno=1)')
+        db.execute('replace emp (jno = 3) where emp.name = "Ann"')
+        assert db.relation_rows("demotions") == []
+
+    def test_unrelated_attribute_update_not_logged(self, db):
+        """The on replace emp(jno) gate: a salary update emits a replace
+        event whose target list does not include jno."""
+        db.execute(self.RULE)
+        db.execute('append emp(name="Ann", age=1, sal=1, dno=1, jno=3)')
+        db.execute('replace emp (sal = 2) where emp.name = "Ann"')
+        assert db.relation_rows("demotions") == []
+
+
+class TestSalesClerkRule2:
+    """Compound action with replace' via the P-node (paper Figure 6/7)."""
+
+    RULE = ('define rule SalesClerkRule2 '
+            'if emp.sal > 30000 and emp.jno = job.jno '
+            'and job.title = "Clerk" '
+            'then do '
+            'append to log(emp.name) '
+            'replace emp (sal = 30000) where emp.dno = dept.dno '
+            'and dept.name = "Sales" '
+            'replace emp (sal = 25000) where emp.dno = dept.dno '
+            'and dept.name != "Sales" '
+            'end')
+
+    def test_sales_clerk_capped_at_30000(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="SC", age=1, sal=50000, dno=2, '
+                   'jno=1)')
+        assert db.relation_rows("log") == [("SC",)]
+        sal = db.query('retrieve (emp.sal) where emp.name = "SC"')
+        assert sal.rows == [(30000.0,)]
+
+    def test_toy_clerk_capped_at_25000(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="TC", age=1, sal=50000, dno=1, '
+                   'jno=1)')
+        sal = db.query('retrieve (emp.sal) where emp.name = "TC"')
+        assert sal.rows == [(25000.0,)]
+
+    def test_engineer_untouched(self, db):
+        db.execute(self.RULE)
+        db.execute('append emp(name="E", age=1, sal=50000, dno=2, jno=2)')
+        sal = db.query('retrieve (emp.sal) where emp.name = "E"')
+        assert sal.rows == [(50000.0,)]
+        assert db.relation_rows("log") == []
+
+    def test_set_oriented_firing(self, db):
+        """Multiple pre-existing matches are processed in one firing when
+        the rule is activated."""
+        for i in range(3):
+            db.execute(f'append emp(name="C{i}", age=1, sal=40000, '
+                       f'dno=2, jno=1)')
+        before = db.firings
+        db.execute(self.RULE)
+        assert sorted(db.relation_rows("log")) == [
+            ("C0",), ("C1",), ("C2",)]
+        assert db.firings == before + 1
+
+
+class TestOnDeleteRules:
+    def test_delete_event_binds_deleted_tuple(self, db):
+        db.execute("define rule ondel on delete emp "
+                   "then append to log(emp.name)")
+        db.execute('append emp(name="Doomed", age=1, sal=1, dno=1, '
+                   'jno=1)')
+        db.execute('delete emp where emp.name = "Doomed"')
+        assert db.relation_rows("log") == [("Doomed",)]
+
+    def test_on_delete_with_condition(self, db):
+        db.execute("define rule ondel on delete emp if emp.sal > 100 "
+                   "then append to log(emp.name)")
+        db.execute('append emp(name="Rich", age=1, sal=200, dno=1, '
+                   'jno=1)')
+        db.execute('append emp(name="Poor", age=1, sal=50, dno=1, jno=1)')
+        db.execute("delete emp")
+        assert db.relation_rows("log") == [("Rich",)]
+
+    def test_append_then_delete_in_block_no_event(self, db):
+        db.execute("define rule ondel on delete emp "
+                   "then append to log(emp.name)")
+        db.execute('do '
+                   'append emp(name="Ghost", age=1, sal=1, dno=1, jno=1) '
+                   'delete emp where emp.name = "Ghost" '
+                   'end')
+        assert db.relation_rows("log") == []
+
+
+class TestNewCondition:
+    def test_new_fires_on_append_and_replace(self, db):
+        db.execute("define rule watch if new(emp) "
+                   "then append to log(emp.name)")
+        db.execute('append emp(name="A", age=1, sal=1, dno=1, jno=1)')
+        db.execute('replace emp (name="B") where emp.name = "A"')
+        assert sorted(db.relation_rows("log")) == [("A",), ("B",)]
+
+    def test_new_does_not_fire_on_activation(self, db):
+        db.execute('append emp(name="Old", age=1, sal=1, dno=1, jno=1)')
+        db.execute("define rule watch if new(emp) "
+                   "then append to log(emp.name)")
+        assert db.relation_rows("log") == []
+
+
+class TestPrioritiesAndConflictResolution:
+    def test_priority_order(self, db):
+        db.execute("create trace (tag = text)")
+        db.execute('define rule lowp priority 1 if new(emp) '
+                   'then append to trace(tag = "low")')
+        db.execute('define rule highp priority 9 if new(emp) '
+                   'then append to trace(tag = "high")')
+        db.execute('append emp(name="A", age=1, sal=1, dno=1, jno=1)')
+        assert [r[0] for r in db.relation_rows("trace")] == [
+            "high", "low"]
+
+    def test_halt_stops_cycle(self, db):
+        db.execute("create trace (tag = text)")
+        db.execute('define rule stopper priority 9 if new(emp) '
+                   'then halt')
+        db.execute('define rule lowp priority 1 if new(emp) '
+                   'then append to trace(tag = "low")')
+        db.execute('append emp(name="A", age=1, sal=1, dno=1, jno=1)')
+        assert db.relation_rows("trace") == []
+
+    def test_halt_does_not_persist_across_transitions(self, db):
+        db.execute("create trace (tag = text)")
+        db.execute('define rule stopper priority 9 on append emp '
+                   'if emp.name = "stop" then halt')
+        db.execute('define rule lowp priority 1 if new(emp) '
+                   'then append to trace(tag = "low")')
+        db.execute('append emp(name="stop", age=1, sal=1, dno=1, jno=1)')
+        db.execute('append emp(name="go", age=1, sal=1, dno=1, jno=1)')
+        assert [r[0] for r in db.relation_rows("trace")] == ["low"]
+
+
+class TestRuleCascades:
+    def test_rule_triggers_rule(self, db):
+        """salaryerror appends trigger a follow-up rule (the paper
+        suggests exactly this composition in section 2.3)."""
+        db.execute(TestRaiseLimit.RULE)
+        db.execute("define rule escalate on append salaryerror "
+                   "then append to log(salaryerror.name)")
+        db.execute('append emp(name="Ann", age=1, sal=100, dno=1, jno=1)')
+        db.execute('replace emp (sal = 200) where emp.name = "Ann"')
+        assert db.relation_rows("log") == [("Ann",)]
+
+    def test_runaway_rules_raise(self, db):
+        small = Database(max_firings=10)
+        small.execute("create ping (n = int4)")
+        small.execute("define rule loop on append ping "
+                      "then append to ping(n = ping.n + 1)")
+        with pytest.raises(RuleLoopError):
+            small.execute("append ping(n = 0)")
+
+    def test_anti_join_cascade_settles(self, db):
+        """A delete-triggering chain terminates once data is consistent."""
+        db.execute('define rule nohighpaid if emp.sal > 100000 '
+                   'then replace emp (sal = 100000) '
+                   'where emp.sal > 100000')
+        db.execute('append emp(name="CEO", age=1, sal=900000, dno=1, '
+                   'jno=1)')
+        sal = db.query('retrieve (emp.sal) where emp.name = "CEO"')
+        assert sal.rows == [(100000.0,)]
+
+
+class TestRuleLifecycle:
+    RULE = 'define rule r1 if emp.name = "Bob" then delete emp'
+
+    def test_deactivate_stops_matching(self, db):
+        db.execute(self.RULE)
+        db.execute("deactivate rule r1")
+        db.execute('append emp(name="Bob", age=1, sal=1, dno=1, jno=1)')
+        assert names(db) == ["Bob"]
+
+    def test_reactivate_primes(self, db):
+        db.execute(self.RULE)
+        db.execute("deactivate rule r1")
+        db.execute('append emp(name="Bob", age=1, sal=1, dno=1, jno=1)')
+        db.execute("activate rule r1")
+        assert names(db) == []
+
+    def test_remove_rule(self, db):
+        db.execute(self.RULE)
+        db.execute("remove rule r1")
+        db.execute('append emp(name="Bob", age=1, sal=1, dno=1, jno=1)')
+        assert names(db) == ["Bob"]
+        assert not db.catalog.has_rule("r1")
+
+    def test_double_activate_rejected(self, db):
+        db.execute(self.RULE)
+        with pytest.raises(RuleError):
+            db.execute("activate rule r1")
+
+    def test_deactivate_inactive_rejected(self, db):
+        db.execute(self.RULE)
+        db.execute("deactivate rule r1")
+        with pytest.raises(RuleError):
+            db.execute("deactivate rule r1")
+
+    def test_rulesets(self, db):
+        db.execute('define rule r1 in watchers if emp.name = "Bob" '
+                   'then delete emp')
+        assert "r1" in db.catalog.ruleset("watchers").rule_names
+        db.execute('define rule r2 if emp.name = "Alice" '
+                   'then delete emp')
+        assert "r2" in db.catalog.ruleset("default_rules").rule_names
+
+    def test_destroy_relation_with_rule_rejected(self, db):
+        db.execute(self.RULE)
+        with pytest.raises(CatalogError):
+            db.execute("destroy emp")
+
+    def test_top_level_halt_rejected(self, db):
+        with pytest.raises(ExecutionError):
+            db.execute("halt")
+
+
+class TestSelfJoinRules:
+    def test_pattern_self_join(self, db):
+        """Two employees in the same department with the same salary."""
+        db.execute("create pairs (a = text, b = text)")
+        db.execute("define rule twins "
+                   "if a.dno = b.dno and a.sal = b.sal and a.name != "
+                   "b.name from a in emp, b in emp "
+                   "then append to pairs(a = a.name, b = b.name)")
+        db.execute('append emp(name="X", age=1, sal=100, dno=1, jno=1)')
+        assert db.relation_rows("pairs") == []
+        db.execute('append emp(name="Y", age=1, sal=100, dno=1, jno=1)')
+        got = sorted(db.relation_rows("pairs"))
+        assert got == [("X", "Y"), ("Y", "X")]
+
+    def test_self_join_exact_multiplicity(self, db):
+        """A tuple joining to itself must do so exactly the right number
+        of times (the ProcessedMemories guarantee, paper section 4.2)."""
+        db.execute("create pairs (a = text, b = text)")
+        db.execute("define rule samedept "
+                   "if a.dno = b.dno from a in emp, b in emp "
+                   "then append to pairs(a = a.name, b = b.name)")
+        db.execute('append emp(name="X", age=1, sal=100, dno=1, jno=1)')
+        # X joins with itself exactly once
+        assert db.relation_rows("pairs") == [("X", "X")]

@@ -1,0 +1,159 @@
+"""Property test: deparse(parse(x)) round-trips for generated ASTs.
+
+Rather than generating text, we generate random command trees, render
+them with the deparser, and check that parsing the rendered text yields
+an equal tree — covering operator precedence, parenthesisation, literals
+(including strings needing escapes and null), events, from-lists, sort
+keys and aggregates far beyond the hand-written cases.
+"""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.lang import ast_nodes as ast
+from repro.lang.ast_nodes import deparse
+from repro.lang.lexer import KEYWORDS
+from repro.lang.parser import parse_command
+
+# "all" is excluded: var.all is grammar (AllRef), not an attribute name
+_names = st.text(alphabet=string.ascii_lowercase, min_size=1,
+                 max_size=6).filter(
+                     lambda s: s not in KEYWORDS and s != "all")
+
+_literals = st.one_of(
+    st.integers(-1000, 1000).map(ast.Const),
+    st.floats(-100, 100, allow_nan=False).map(ast.Const),
+    st.booleans().map(ast.Const),
+    st.just(ast.Const(None)),
+    st.text(alphabet=string.printable, max_size=8).map(ast.Const),
+)
+
+
+@st.composite
+def exprs(draw, depth=0, allow_bool=True):
+    choices = ["literal", "attr"]
+    if depth < 3:
+        choices += ["arith", "unary"]
+        if allow_bool:
+            choices += ["compare", "logic", "not"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "literal":
+        return draw(_literals)
+    if kind == "attr":
+        return ast.AttrRef(draw(_names), draw(_names),
+                           previous=draw(st.booleans()))
+    if kind == "arith":
+        op = draw(st.sampled_from(ast.ARITHMETIC_OPS))
+        return ast.BinOp(op, draw(exprs(depth=depth + 1,
+                                        allow_bool=False)),
+                         draw(exprs(depth=depth + 1, allow_bool=False)))
+    if kind == "unary":
+        return ast.UnaryOp("-", draw(exprs(depth=depth + 1,
+                                           allow_bool=False)))
+    if kind == "compare":
+        op = draw(st.sampled_from(ast.COMPARISON_OPS))
+        return ast.BinOp(op, draw(exprs(depth=depth + 1,
+                                        allow_bool=False)),
+                         draw(exprs(depth=depth + 1, allow_bool=False)))
+    if kind == "logic":
+        op = draw(st.sampled_from(ast.LOGICAL_OPS))
+        return ast.BinOp(op, draw(exprs(depth=depth + 1)),
+                         draw(exprs(depth=depth + 1)))
+    return ast.UnaryOp("not", draw(exprs(depth=depth + 1)))
+
+
+@st.composite
+def retrieves(draw):
+    targets = [ast.ResultColumn(draw(st.one_of(st.none(), _names)),
+                                draw(exprs(allow_bool=False)))
+               for _ in range(draw(st.integers(1, 4)))]
+    from_items = [ast.FromItem(draw(_names), draw(_names))
+                  for _ in range(draw(st.integers(0, 2)))]
+    where = draw(st.one_of(st.none(), exprs()))
+    sort_keys = [ast.SortKey(draw(exprs(allow_bool=False)),
+                             draw(st.booleans()))
+                 for _ in range(draw(st.integers(0, 2)))]
+    return ast.Retrieve(targets, draw(st.one_of(st.none(), _names)),
+                        from_items, where, sort_keys,
+                        draw(st.booleans()))
+
+
+@st.composite
+def commands(draw):
+    kind = draw(st.sampled_from(
+        ["retrieve", "append", "delete", "replace", "rule"]))
+    if kind == "retrieve":
+        return draw(retrieves())
+    if kind == "append":
+        targets = [ast.ResultColumn(draw(_names),
+                                    draw(exprs(allow_bool=False)))
+                   for _ in range(draw(st.integers(1, 3)))]
+        return ast.Append(draw(_names), targets, [],
+                          draw(st.one_of(st.none(), exprs())))
+    if kind == "delete":
+        return ast.Delete(draw(_names), [],
+                          draw(st.one_of(st.none(), exprs())))
+    if kind == "replace":
+        assignments = [ast.ResultColumn(draw(_names),
+                                        draw(exprs(allow_bool=False)))
+                       for _ in range(draw(st.integers(1, 2)))]
+        return ast.Replace(draw(_names), assignments, [],
+                           draw(st.one_of(st.none(), exprs())))
+    event = draw(st.one_of(st.none(), st.builds(
+        ast.EventSpec,
+        st.sampled_from(list(ast.EventKind)),
+        _names,
+        st.just(()))))
+    condition = draw(exprs()) if event is None else \
+        draw(st.one_of(st.none(), exprs()))
+    # the grammar attaches the from-list to the if clause, so a rule
+    # without a condition cannot carry one
+    from_items = ([ast.FromItem(draw(_names), draw(_names))
+                   for _ in range(draw(st.integers(0, 2)))]
+                  if condition is not None else [])
+    return ast.DefineRule(
+        name=draw(_names),
+        action=ast.Delete(draw(_names), [], None),
+        ruleset=draw(st.one_of(st.none(), _names)),
+        priority=float(draw(st.integers(-5, 5))),
+        event=event,
+        condition=condition,
+        from_items=from_items)
+
+
+def normalize(node):
+    """Clear analysis annotations and fold negated numeric literals
+    (the parser normalises "-1" to Const(-1)) so trees compare
+    structurally."""
+    if isinstance(node, ast.AttrRef):
+        node.position = None
+    for field_name in getattr(node, "__dataclass_fields__", {}):
+        value = getattr(node, field_name)
+        if isinstance(value, (ast.Expr, ast.Command)):
+            setattr(node, field_name, normalize(value))
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if hasattr(item, "__dataclass_fields__"):
+                    normalize(item)
+    if isinstance(node, ast.UnaryOp) and node.op == "-" \
+            and isinstance(node.operand, ast.Const) \
+            and isinstance(node.operand.value, (int, float)) \
+            and not isinstance(node.operand.value, bool):
+        return ast.Const(-node.operand.value)
+    return node
+
+
+@given(commands())
+def test_deparse_parse_round_trip(tree):
+    rendered = deparse(tree)
+    reparsed = parse_command(rendered)
+    assert normalize(reparsed) == normalize(tree), rendered
+
+
+@given(exprs())
+def test_expression_round_trip(expr):
+    command = ast.Delete("t", [], expr)
+    rendered = deparse(command)
+    assert normalize(parse_command(rendered)) == normalize(command), \
+        rendered

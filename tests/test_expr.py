@@ -1,0 +1,203 @@
+"""Unit and property tests for expression compilation and evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.errors import ExecutionError, SemanticError
+from repro.lang import ast_nodes as ast
+from repro.lang.expr import (
+    Bindings, compile_expr, constant_value, is_true, previous_variables_of,
+    variables_of)
+from repro.lang.parser import parse_command
+from repro.lang.semantic import SemanticAnalyzer
+
+
+@pytest.fixture
+def env():
+    catalog = Catalog()
+    catalog.create_relation("emp", Schema.of(
+        name="text", age="int", sal="float", dno="int"))
+    catalog.create_relation("dept", Schema.of(dno="int", name="text"))
+    return catalog, SemanticAnalyzer(catalog)
+
+
+def compiled(env, text, command="retrieve (emp.name) where {}"):
+    catalog, analyzer = env
+    cmd = parse_command(command.format(text))
+    analyzer.analyze(cmd)
+    return compile_expr(cmd.where)
+
+
+def bindings(**kwargs):
+    return Bindings(current=kwargs)
+
+
+ANN = ("Ann", 30, 50000.0, 1)
+BOB = ("Bob", 40, 60000.0, 2)
+
+
+class TestEvaluation:
+    def test_comparison(self, env):
+        fn = compiled(env, "emp.age > 35")
+        assert fn(bindings(emp=ANN)) is False
+        assert fn(bindings(emp=BOB)) is True
+
+    def test_equality_string(self, env):
+        fn = compiled(env, 'emp.name = "Ann"')
+        assert fn(bindings(emp=ANN)) is True
+        assert fn(bindings(emp=BOB)) is False
+
+    def test_arithmetic(self, env):
+        fn = compiled(env, "emp.sal * 2 + 1000 > 100000")
+        assert fn(bindings(emp=ANN)) is True   # 101000 > 100000
+
+    def test_and_or_not(self, env):
+        fn = compiled(env, 'emp.age > 35 and not emp.name = "Zed" '
+                           'or emp.dno = 99')
+        assert fn(bindings(emp=BOB)) is True
+        assert fn(bindings(emp=ANN)) is False
+
+    def test_join_predicate(self, env):
+        fn = compiled(env, "emp.dno = dept.dno")
+        assert fn(Bindings({"emp": ANN, "dept": (1, "Toy")})) is True
+        assert fn(Bindings({"emp": ANN, "dept": (2, "Sales")})) is False
+
+    def test_unary_minus(self, env):
+        fn = compiled(env, "emp.age = -(-30)")
+        assert fn(bindings(emp=ANN)) is True
+
+    def test_division(self, env):
+        fn = compiled(env, "emp.sal / 2 = 25000")
+        assert fn(bindings(emp=ANN)) is True
+
+    def test_integer_division_stays_exact(self, env):
+        fn = compiled(env, "emp.age / 2 = 15")
+        assert fn(bindings(emp=ANN)) is True
+
+    def test_division_by_zero(self, env):
+        fn = compiled(env, "emp.age / 0 = 1")
+        with pytest.raises(ExecutionError):
+            fn(bindings(emp=ANN))
+
+    def test_previous_reference(self, env):
+        catalog, analyzer = env
+        cmd = parse_command(
+            "define rule r if emp.sal > 1.1 * previous emp.sal "
+            "then delete emp")
+        analyzer.analyze(cmd)
+        fn = compile_expr(cmd.condition)
+        b = Bindings(current={"emp": ("Ann", 30, 60000.0, 1)},
+                     previous={"emp": ("Ann", 30, 50000.0, 1)})
+        assert fn(b) is True
+        b2 = Bindings(current={"emp": ("Ann", 30, 54000.0, 1)},
+                      previous={"emp": ("Ann", 30, 50000.0, 1)})
+        assert fn(b2) is False
+
+    def test_unanalyzed_attr_ref_rejected(self):
+        with pytest.raises(SemanticError):
+            compile_expr(ast.AttrRef("emp", "sal"))
+
+    def test_new_call_always_true(self):
+        fn = compile_expr(ast.NewCall("emp"))
+        assert fn(Bindings()) is True
+
+
+class TestNullSemantics:
+    def test_comparison_with_null_is_unknown(self, env):
+        fn = compiled(env, "emp.age > 35")
+        assert fn(bindings(emp=("Ann", None, 1.0, 1))) is None
+
+    def test_arithmetic_with_null_is_null(self, env):
+        fn = compiled(env, "emp.age + 1 > 0")
+        assert fn(bindings(emp=("Ann", None, 1.0, 1))) is None
+
+    def test_kleene_and(self, env):
+        fn = compiled(env, "emp.age > 35 and emp.dno = 1")
+        # False and unknown -> False
+        assert fn(bindings(emp=("A", 30, 1.0, None))) is False
+        # unknown and True -> unknown
+        assert fn(bindings(emp=("A", None, 1.0, 1))) is None
+
+    def test_kleene_or(self, env):
+        fn = compiled(env, "emp.age > 35 or emp.dno = 1")
+        # True or unknown -> True
+        assert fn(bindings(emp=("A", 40, 1.0, None))) is True
+        # unknown or False -> unknown
+        assert fn(bindings(emp=("A", None, 1.0, 2))) is None
+
+    def test_not_unknown(self, env):
+        fn = compiled(env, "not emp.age > 35")
+        assert fn(bindings(emp=("A", None, 1.0, 1))) is None
+
+    def test_is_true(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(False)
+
+
+class TestHelpers:
+    def test_variables_of(self, env):
+        catalog, analyzer = env
+        cmd = parse_command("retrieve (emp.name) "
+                            "where emp.dno = dept.dno and emp.age > 1")
+        analyzer.analyze(cmd)
+        assert variables_of(cmd.where) == {"emp", "dept"}
+
+    def test_previous_variables_of(self, env):
+        catalog, analyzer = env
+        cmd = parse_command("define rule r "
+                            "if emp.sal > previous emp.sal "
+                            "and emp.dno = dept.dno then delete emp")
+        analyzer.analyze(cmd)
+        assert previous_variables_of(cmd.condition) == {"emp"}
+        assert variables_of(cmd.condition) == {"emp", "dept"}
+
+    def test_constant_value(self):
+        expr = parse_command("delete emp where emp.a = 1.1 * 30000").where
+        assert constant_value(expr.right) == pytest.approx(33000.0)
+
+    def test_constant_value_rejects_variables(self):
+        expr = parse_command("delete emp where emp.a = 1").where
+        with pytest.raises(SemanticError):
+            constant_value(expr.left)
+
+
+# ----------------------------------------------------------------------
+# property: compiled evaluation == direct python evaluation
+# ----------------------------------------------------------------------
+
+_num = st.one_of(st.integers(-100, 100),
+                 st.floats(-100, 100, allow_nan=False))
+
+
+@st.composite
+def arith_exprs(draw, depth=0):
+    """Random arithmetic/comparison trees over emp.age and constants."""
+    if depth > 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return ast.Const(draw(_num)), lambda age: None
+        return ast.AttrRef("emp", "age", position=1), lambda age: age
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left, _ = draw(arith_exprs(depth=depth + 1))
+    right, _ = draw(arith_exprs(depth=depth + 1))
+    return ast.BinOp(op, left, right), None
+
+
+@given(arith_exprs(), st.integers(-50, 50))
+def test_compiled_matches_direct(expr_and_fn, age):
+    expr, _ = expr_and_fn
+    fn = compile_expr(expr)
+    result = fn(Bindings(current={"emp": ("X", age)}))
+
+    def direct(node):
+        if isinstance(node, ast.Const):
+            return node.value
+        if isinstance(node, ast.AttrRef):
+            return age
+        ops = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+               "*": lambda a, b: a * b}
+        return ops[node.op](direct(node.left), direct(node.right))
+
+    assert result == direct(expr)

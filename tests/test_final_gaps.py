@@ -1,0 +1,120 @@
+"""Last coverage gaps: aggregate properties, halt-mid-action, misc."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 4),
+                          st.integers(-100, 100)),
+                min_size=0, max_size=30))
+def test_grouped_aggregates_match_python(rows):
+    """Grouped count/sum/min/max/avg equal a direct computation."""
+    db = Database()
+    db.execute("create t (g = int4, v = int4)")
+    for g, v in rows:
+        db.execute(f"append t(g = {g}, v = {v})")
+    result = db.query("retrieve (t.g, n = count(t.all), s = sum(t.v), "
+                      "lo = min(t.v), hi = max(t.v), a = avg(t.v))")
+    groups: dict[int, list[int]] = {}
+    for g, v in rows:
+        groups.setdefault(g, []).append(v)
+    assert len(result) == len(groups)
+    for g, n, s, lo, hi, a in result.rows:
+        values = groups[g]
+        assert n == len(values)
+        assert s == sum(values)
+        assert lo == min(values)
+        assert hi == max(values)
+        assert a == pytest.approx(sum(values) / len(values))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-50, 50), min_size=0, max_size=25),
+       st.booleans())
+def test_sort_matches_python_sorted(values, descending):
+    db = Database()
+    db.execute("create t (v = int4)")
+    for v in values:
+        db.execute(f"append t(v = {v})")
+    direction = " desc" if descending else ""
+    result = db.query(f"retrieve (t.v) sort by t.v{direction}")
+    assert result.column("v") == sorted(values, reverse=descending)
+
+
+class TestHaltSemantics:
+    def test_halt_skips_remaining_action_commands(self):
+        db = Database()
+        db.execute("create t (a = int4)")
+        db.execute("create log (a = int4)")
+        db.execute("define rule r on append t then do "
+                   "append to log(a = 1) "
+                   "halt "
+                   "append to log(a = 2) "
+                   "end")
+        db.execute("append t(a = 0)")
+        assert db.relation_rows("log") == [(1,)]
+
+    def test_halt_prevents_lower_priority_rules(self):
+        db = Database()
+        db.execute("create t (a = int4)")
+        db.execute("create log (a = int4)")
+        db.execute("define rule stopper priority 5 on append t then halt")
+        db.execute("define rule after priority 1 on append t "
+                   "then append to log(a = 1)")
+        db.execute("append t(a = 0)")
+        assert db.relation_rows("log") == []
+
+    def test_higher_priority_rule_beats_halt(self):
+        db = Database()
+        db.execute("create t (a = int4)")
+        db.execute("create log (a = int4)")
+        db.execute("define rule first priority 9 on append t "
+                   "then append to log(a = 1)")
+        db.execute("define rule stopper priority 5 on append t then halt")
+        db.execute("append t(a = 0)")
+        assert db.relation_rows("log") == [(1,)]
+
+
+class TestReplaceEventNetTargetList:
+    def test_rename_then_rename_back_not_a_name_event(self):
+        db = Database()
+        db.execute("create t (name = text, v = int4)")
+        db.execute("create log (name = text)")
+        db.execute("define rule watch on replace t(name) "
+                   "then append to log(t.name)")
+        db.execute('append t(name = "a", v = 1)')
+        db.execute('do '
+                   'replace t (name = "b") '
+                   'replace t (name = "a", v = 2) '
+                   'end')
+        # net change vs transition start: only v — no name event
+        assert db.relation_rows("log") == []
+
+    def test_net_includes_both_changed_attrs(self):
+        db = Database()
+        db.execute("create t (name = text, v = int4)")
+        db.execute("create vlog (name = text)")
+        db.execute("create nlog (name = text)")
+        db.execute("define rule von on replace t(v) "
+                   "then append to vlog(t.name)")
+        db.execute("define rule non on replace t(name) "
+                   "then append to nlog(t.name)")
+        db.execute('append t(name = "a", v = 1)')
+        db.execute('do replace t (name = "b") replace t (v = 2) end')
+        assert db.relation_rows("vlog") == [("b",)]
+        assert db.relation_rows("nlog") == [("b",)]
+
+
+class TestMultipleDatabasesIsolated:
+    def test_instances_do_not_share_state(self):
+        a = Database()
+        b = Database()
+        a.execute("create t (x = int4)")
+        with pytest.raises(Exception):
+            b.query("retrieve (t.x)")
+        b.execute("create t (x = int4)")
+        a.execute("append t(x = 1)")
+        assert b.relation_rows("t") == []

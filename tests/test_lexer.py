@@ -1,0 +1,90 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestLexer:
+    def test_empty(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_keywords_case_insensitive(self):
+        assert values("APPEND Append append") == ["append"] * 3
+        assert kinds("retrieve") == ["keyword"]
+
+    def test_identifiers_case_sensitive(self):
+        tokens = tokenize("Emp emp")
+        assert tokens[0].value == "Emp"
+        assert tokens[1].value == "emp"
+
+    def test_numbers(self):
+        assert values("42") == [42]
+        assert values("3.5") == [3.5]
+        assert values("1.5e3") == [1500.0]
+        assert values("2E-2") == [0.02]
+        assert isinstance(values("42")[0], int)
+        assert isinstance(values("42.0")[0], float)
+
+    def test_strings(self):
+        assert values('"Bob"') == ["Bob"]
+        assert values(r'"a\"b"') == ['a"b']
+        assert values(r'"line\n"') == ["line\n"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('"oops')
+
+    def test_bad_escape(self):
+        with pytest.raises(ParseError):
+            tokenize(r'"\x"')
+
+    def test_operators(self):
+        assert values("< <= > >= = != + - * / ( ) , .") == [
+            "<", "<=", ">", ">=", "=", "!=", "+", "-", "*", "/",
+            "(", ")", ",", "."]
+
+    def test_maximal_munch(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+        assert values("a<b") == ["a", "<", "b"]
+
+    def test_comments(self):
+        assert values("a -- comment\n b") == ["a", "b"]
+        assert values("a # comment\n b") == ["a", "b"]
+
+    def test_semicolons_are_trivia(self):
+        assert values("a; b") == ["a", "b"]
+
+    def test_dotted_reference(self):
+        assert values("emp.sal") == ["emp", ".", "sal"]
+        assert kinds("emp.sal") == ["ident", "op", "ident"]
+
+    def test_positions(self):
+        tokens = tokenize("ab\n cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 2)
+
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError) as excinfo:
+            tokenize("a @ b")
+        assert "line 1" in str(excinfo.value)
+
+    def test_rule_text_from_paper(self):
+        text = 'define rule NoBobs on append emp if emp.name = "Bob" ' \
+               'then delete emp'
+        words = values(text)
+        assert "define" in words
+        assert "rule" in words
+        assert "NoBobs" in words
+        assert "Bob" in words

@@ -1,0 +1,369 @@
+"""Unit and round-trip tests for the parser and deparser.
+
+Every rule and command that appears verbatim in the paper is parsed here.
+"""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.ast_nodes import deparse
+from repro.lang.parser import parse_command, parse_script
+
+
+class TestCreateDestroy:
+    def test_create(self):
+        cmd = parse_command(
+            "create emp (name = text, age = int4, salary = float8, "
+            "dno = int4, jno = int4)")
+        assert isinstance(cmd, ast.CreateRelation)
+        assert cmd.name == "emp"
+        assert [c.name for c in cmd.columns] == [
+            "name", "age", "salary", "dno", "jno"]
+        assert cmd.columns[0].type_name == "text"
+
+    def test_destroy(self):
+        cmd = parse_command("destroy emp")
+        assert isinstance(cmd, ast.DestroyRelation)
+        assert cmd.name == "emp"
+
+
+class TestAppend:
+    def test_named_targets(self):
+        cmd = parse_command(
+            'append emp(name="Fred", age=27, sal=55000, dno = 12)')
+        assert isinstance(cmd, ast.Append)
+        assert cmd.relation == "emp"
+        assert [t.name for t in cmd.targets] == ["name", "age", "sal",
+                                                 "dno"]
+        assert cmd.targets[0].expr == ast.Const("Fred")
+
+    def test_append_to(self):
+        cmd = parse_command('append to salaryerror(emp.name, '
+                            'previous emp.sal, emp.sal)')
+        assert cmd.relation == "salaryerror"
+        assert cmd.targets[0].name is None
+        assert cmd.targets[1].expr == ast.AttrRef("emp", "sal",
+                                                  previous=True)
+
+    def test_append_with_where(self):
+        cmd = parse_command('append to log(emp.name) where emp.sal > 100')
+        assert cmd.where is not None
+
+    def test_append_with_from(self):
+        cmd = parse_command(
+            'append to log(e.name) from e in emp where e.sal > 100')
+        assert cmd.from_items == [ast.FromItem("e", "emp")]
+
+
+class TestDeleteReplace:
+    def test_delete_bare(self):
+        cmd = parse_command("delete emp")
+        assert isinstance(cmd, ast.Delete)
+        assert cmd.target_var == "emp"
+        assert cmd.where is None
+
+    def test_delete_where(self):
+        cmd = parse_command('delete emp where emp.name = "Bob"')
+        assert cmd.where == ast.BinOp("=", ast.AttrRef("emp", "name"),
+                                      ast.Const("Bob"))
+
+    def test_delete_from_relation_form(self):
+        cmd = parse_command("delete from emp where emp.age > 90")
+        assert cmd.target_var == "emp"
+
+    def test_delete_with_from_list(self):
+        cmd = parse_command(
+            "delete e from e in emp where e.dno = dept.dno")
+        assert cmd.target_var == "e"
+        assert cmd.from_items == [ast.FromItem("e", "emp")]
+
+    def test_replace(self):
+        cmd = parse_command(
+            'replace emp (name="bob") where emp.name = "fred"')
+        assert isinstance(cmd, ast.Replace)
+        assert cmd.target_var == "emp"
+        assert cmd.assignments[0].name == "name"
+
+    def test_replace_requires_named_assignments(self):
+        with pytest.raises(ParseError):
+            parse_command('replace emp ("bob")')
+
+    def test_paper_replace_with_join(self):
+        cmd = parse_command(
+            'replace emp (sal = 30000) where emp.dno = dept.dno '
+            'and dept.name = "Sales"')
+        assert cmd.assignments[0].expr == ast.Const(30000)
+        assert isinstance(cmd.where, ast.BinOp)
+        assert cmd.where.op == "and"
+
+
+class TestRetrieve:
+    def test_simple(self):
+        cmd = parse_command("retrieve (emp.name, emp.salary)")
+        assert isinstance(cmd, ast.Retrieve)
+        assert len(cmd.targets) == 2
+
+    def test_into(self):
+        cmd = parse_command("retrieve into rich (emp.name) "
+                            "where emp.salary > 90000")
+        assert cmd.into == "rich"
+
+    def test_named_result_columns(self):
+        cmd = parse_command("retrieve (who = emp.name, emp.age)")
+        assert cmd.targets[0].name == "who"
+        assert cmd.targets[1].name is None
+
+    def test_all(self):
+        cmd = parse_command("retrieve (emp.all)")
+        assert cmd.targets[0].expr == ast.AllRef("emp")
+
+    def test_from_clause(self):
+        cmd = parse_command(
+            "retrieve (oldjob.title) from oldjob in job, newjob in job "
+            "where oldjob.jno != newjob.jno")
+        assert len(cmd.from_items) == 2
+        assert cmd.from_items[1] == ast.FromItem("newjob", "job")
+
+
+class TestBlock:
+    def test_paper_block(self):
+        cmd = parse_command(
+            'do '
+            'append emp(name="", age=27, sal=55000, dno = 12) '
+            'replace emp (name="bob") where emp.name = "" '
+            'end')
+        assert isinstance(cmd, ast.Block)
+        assert len(cmd.commands) == 2
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            parse_command("do append x(1)")
+
+    def test_empty_block(self):
+        with pytest.raises(ParseError):
+            parse_command("do end")
+
+
+class TestExpressions:
+    def parse_where(self, text):
+        return parse_command(f"delete emp where {text}").where
+
+    def test_precedence_arith(self):
+        expr = self.parse_where("emp.a + emp.b * 2 = 10")
+        assert expr.op == "="
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_precedence_logic(self):
+        expr = self.parse_where("emp.a = 1 or emp.b = 2 and emp.c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_parentheses(self):
+        expr = self.parse_where("(emp.a = 1 or emp.b = 2) and emp.c = 3")
+        assert expr.op == "and"
+        assert expr.left.op == "or"
+
+    def test_not(self):
+        expr = self.parse_where("not emp.a = 1")
+        assert expr == ast.UnaryOp(
+            "not", ast.BinOp("=", ast.AttrRef("emp", "a"), ast.Const(1)))
+
+    def test_unary_minus_folds_literals(self):
+        expr = self.parse_where("emp.a = -5")
+        assert expr.right == ast.Const(-5)
+
+    def test_unary_minus_on_expressions(self):
+        expr = self.parse_where("emp.a = -emp.b")
+        assert expr.right == ast.UnaryOp("-", ast.AttrRef("emp", "b"))
+
+    def test_double_negation_round_trips(self):
+        from repro.lang.ast_nodes import deparse
+        expr = self.parse_where("emp.a = -(-emp.b)")
+        assert expr.right == ast.UnaryOp(
+            "-", ast.UnaryOp("-", ast.AttrRef("emp", "b")))
+        tree = parse_command("delete emp where emp.a = -(-emp.b)")
+        assert parse_command(deparse(tree)) == tree
+
+    def test_previous(self):
+        expr = self.parse_where("emp.sal > 1.1 * previous emp.sal")
+        assert expr.right.right == ast.AttrRef("emp", "sal", previous=True)
+
+    def test_booleans(self):
+        expr = self.parse_where("emp.flag = true")
+        assert expr.right == ast.Const(True)
+
+    def test_keyword_attribute_names(self):
+        expr = self.parse_where("emp.priority = 1")
+        assert expr.left == ast.AttrRef("emp", "priority")
+
+
+class TestDefineRule:
+    def test_nobobs(self):
+        cmd = parse_command(
+            'define rule NoBobs on append emp if emp.name = "Bob" '
+            'then delete emp')
+        assert isinstance(cmd, ast.DefineRule)
+        assert cmd.name == "NoBobs"
+        assert cmd.event == ast.EventSpec(ast.EventKind.APPEND, "emp")
+        assert isinstance(cmd.action, ast.Delete)
+
+    def test_nobobs2_pattern_only(self):
+        cmd = parse_command(
+            'define rule NoBobs2 if emp.name = "Bob" then delete emp')
+        assert cmd.event is None
+        assert cmd.condition is not None
+
+    def test_raiselimit(self):
+        cmd = parse_command(
+            "define rule raiselimit "
+            "if emp.sal > 1.1 * previous emp.sal "
+            "then append to salaryerror(emp.name, previous emp.sal, "
+            "emp.sal)")
+        assert cmd.name == "raiselimit"
+        assert isinstance(cmd.action, ast.Append)
+
+    def test_toyraiselimit(self):
+        cmd = parse_command(
+            'define rule toyraiselimit '
+            'if emp.sal > 1.1 * previous emp.sal '
+            'and emp.dno = dept.dno and dept.name = "Toy" '
+            'then append to toysalaryerror(emp.name, previous emp.sal, '
+            'emp.sal)')
+        conjuncts = []
+        node = cmd.condition
+        while isinstance(node, ast.BinOp) and node.op == "and":
+            conjuncts.append(node.right)
+            node = node.left
+        conjuncts.append(node)
+        assert len(conjuncts) == 3
+
+    def test_finddemotions_all_three_condition_types(self):
+        cmd = parse_command(
+            "define rule finddemotions "
+            "on replace emp(jno) "
+            "if newjob.jno = emp.jno "
+            "and oldjob.jno = previous emp.jno "
+            "and newjob.paygrade < oldjob.paygrade "
+            "from oldjob in job, newjob in job "
+            "then append to demotions (name=emp.name, dno=emp.dno, "
+            "oldjno=oldjob.jno, newjno=newjob.jno)")
+        assert cmd.event == ast.EventSpec(ast.EventKind.REPLACE, "emp",
+                                          ("jno",))
+        assert len(cmd.from_items) == 2
+        assert isinstance(cmd.action, ast.Append)
+
+    def test_salesclerkrule2_block_action(self):
+        cmd = parse_command(
+            'define rule SalesClerkRule2 '
+            'if emp.sal > 30000 and emp.jno = job.jno '
+            'and job.title = "Clerk" '
+            'then do '
+            'append to salarywatch(emp.all) '
+            'replace emp (sal = 30000) where emp.dno = dept.dno '
+            'and dept.name = "Sales" '
+            'replace emp (sal = 25000) where emp.dno = dept.dno '
+            'and dept.name != "Sales" '
+            'end')
+        assert isinstance(cmd.action, ast.Block)
+        assert len(cmd.action.commands) == 3
+
+    def test_priority_and_ruleset(self):
+        cmd = parse_command(
+            "define rule r1 in watchers priority 5 if emp.age > 100 "
+            "then delete emp")
+        assert cmd.ruleset == "watchers"
+        assert cmd.priority == 5.0
+
+    def test_negative_priority(self):
+        cmd = parse_command(
+            "define rule r1 priority -2 if emp.age > 100 then delete emp")
+        assert cmd.priority == -2.0
+
+    def test_new_condition(self):
+        cmd = parse_command(
+            "define rule watcher if new(emp) then append to log(emp.name)")
+        assert cmd.condition == ast.NewCall("emp")
+
+    def test_event_only_rule(self):
+        cmd = parse_command(
+            "define rule ondel on delete from emp "
+            "then append to log(emp.name)")
+        assert cmd.event.kind is ast.EventKind.DELETE
+        assert cmd.condition is None
+
+
+class TestOtherCommands:
+    def test_define_index(self):
+        cmd = parse_command("define index empsal on emp (sal) using btree")
+        assert cmd == ast.DefineIndex("empsal", "emp", "sal", "btree")
+
+    def test_define_index_default_kind(self):
+        cmd = parse_command("define index empsal on emp (sal)")
+        assert cmd.kind == "btree"
+
+    def test_remove_rule_and_index(self):
+        assert parse_command("remove rule r1") == ast.RemoveRule("r1")
+        assert parse_command("remove index i1") == ast.RemoveIndex("i1")
+
+    def test_activate_deactivate(self):
+        assert parse_command("activate rule r1") == ast.ActivateRule("r1")
+        assert parse_command("deactivate rule r1") == \
+            ast.DeactivateRule("r1")
+
+    def test_halt(self):
+        assert parse_command("halt") == ast.Halt()
+
+    def test_script(self):
+        cmds = parse_script("create t (a = int)\nappend t(a=1)\n"
+                            "append t(a=2)")
+        assert len(cmds) == 3
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_command("halt halt")
+
+    def test_unknown_command(self):
+        with pytest.raises(ParseError):
+            parse_command("frobnicate emp")
+
+    def test_not_a_command(self):
+        with pytest.raises(ParseError):
+            parse_command("42")
+
+
+PAPER_COMMANDS = [
+    "create emp (name = text, age = int4, salary = float8, dno = int4, "
+    "jno = int4)",
+    'append emp(name="Fred", age=27, sal=55000, dno = 12)',
+    'replace emp (name="bob") where emp.name = "fred"',
+    'define rule NoBobs on append emp if emp.name = "Bob" then delete emp',
+    'define rule NoBobs2 if emp.name = "Bob" then delete emp',
+    "define rule raiselimit if emp.sal > 1.1 * previous emp.sal then "
+    "append to salaryerror(emp.name, previous emp.sal, emp.sal)",
+    'define rule SalesClerkRule if emp.sal > 30000 and emp.dno = dept.dno '
+    'and dept.name = "Sales" and emp.jno = job.jno and job.title = "Clerk" '
+    'then append to watch(emp.name)',
+    "define rule finddemotions on replace emp(jno) if newjob.jno = emp.jno "
+    "and oldjob.jno = previous emp.jno and newjob.paygrade < "
+    "oldjob.paygrade from oldjob in job, newjob in job then append to "
+    "demotions (name=emp.name, dno=emp.dno, oldjno=oldjob.jno, "
+    "newjno=newjob.jno)",
+    "retrieve (emp.name) where emp.salary > 50000 and emp.age < 40",
+    "do append t(a=1) delete t where t.a = 2 end",
+]
+
+
+@pytest.mark.parametrize("text", PAPER_COMMANDS)
+def test_deparse_round_trip(text):
+    """deparse(parse(x)) reparses to an equal tree."""
+    tree = parse_command(text)
+    rendered = deparse(tree)
+    assert parse_command(rendered) == tree
+
+
+def test_deparse_parenthesizes_correctly():
+    tree = parse_command(
+        "delete emp where (emp.a + emp.b) * 2 = emp.c - (emp.d - 1)")
+    assert parse_command(deparse(tree)) == tree

@@ -1,0 +1,230 @@
+"""Unit tests for predicate analysis (conjuncts, intervals, equi-joins)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.intervals.interval import Interval, NEG_INF, POS_INF
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_command
+from repro.lang.predicates import (
+    analyze_selection, build_condition_graph, conjoin, equijoin_of_conjunct,
+    intersect, interval_of_conjunct, split_conjuncts)
+from repro.lang.semantic import SemanticAnalyzer
+
+
+@pytest.fixture
+def analyzer():
+    catalog = Catalog()
+    catalog.create_relation("emp", Schema.of(
+        name="text", age="int", sal="float", dno="int", jno="int"))
+    catalog.create_relation("dept", Schema.of(dno="int", name="text"))
+    catalog.create_relation("job", Schema.of(jno="int", title="text"))
+    return SemanticAnalyzer(catalog)
+
+
+def condition(analyzer, text, vars_=("emp", "dept", "job")):
+    """Parse a rule condition and return the analyzed expression."""
+    cmd = parse_command(f"define rule _tmp if {text} then delete emp")
+    analyzer.analyze(cmd)
+    analyzer.catalog.drop_rule if False else None
+    return cmd.condition
+
+
+class TestSplitConjoin:
+    def test_split_flat(self, analyzer):
+        expr = condition(analyzer,
+                         'emp.sal > 1 and emp.dno = dept.dno and '
+                         'dept.name = "Sales"')
+        assert len(split_conjuncts(expr)) == 3
+
+    def test_split_respects_or(self, analyzer):
+        expr = condition(analyzer, "emp.sal > 1 or emp.age > 2")
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_conjoin_round_trip(self, analyzer):
+        expr = condition(analyzer, "emp.sal > 1 and emp.age > 2")
+        conjuncts = split_conjuncts(expr)
+        rebuilt = conjoin(conjuncts)
+        assert split_conjuncts(rebuilt) == conjuncts
+
+    def test_conjoin_empty(self):
+        assert conjoin([]) is None
+
+
+class TestConditionGraph:
+    def test_partition(self, analyzer):
+        expr = condition(analyzer,
+                         'emp.sal > 30000 and emp.dno = dept.dno and '
+                         'dept.name = "Sales" and emp.jno = job.jno and '
+                         'job.title = "Clerk"')
+        graph = build_condition_graph(expr, ["emp", "dept", "job"])
+        assert len(graph.selections["emp"]) == 1
+        assert len(graph.selections["dept"]) == 1
+        assert len(graph.selections["job"]) == 1
+        assert len(graph.joins) == 2
+        assert graph.constants == []
+
+    def test_constant_conjunct(self, analyzer):
+        expr = condition(analyzer, "1 = 1 and emp.sal > 5")
+        graph = build_condition_graph(expr, ["emp"])
+        assert len(graph.constants) == 1
+
+    def test_selection_predicate_rebuild(self, analyzer):
+        expr = condition(analyzer, "emp.sal > 5 and emp.age < 9")
+        graph = build_condition_graph(expr, ["emp"])
+        pred = graph.selection_predicate("emp")
+        assert len(split_conjuncts(pred)) == 2
+
+    def test_unbound_variable_rejected(self, analyzer):
+        expr = condition(analyzer, "emp.sal > 5")
+        with pytest.raises(Exception):
+            build_condition_graph(expr, ["dept"])
+
+
+class TestIntervalExtraction:
+    def get(self, analyzer, text):
+        expr = condition(analyzer, text)
+        return interval_of_conjunct(expr, "emp")
+
+    def test_less_than(self, analyzer):
+        ai = self.get(analyzer, "emp.sal < 100")
+        assert ai.attr == "sal"
+        assert ai.interval == Interval.at_most(100, closed=False)
+
+    def test_greater_equal(self, analyzer):
+        ai = self.get(analyzer, "emp.sal >= 100")
+        assert ai.interval == Interval.at_least(100, closed=True)
+
+    def test_equality_point(self, analyzer):
+        ai = self.get(analyzer, "emp.dno = 7")
+        assert ai.interval == Interval.point(7)
+
+    def test_reversed_comparison(self, analyzer):
+        ai = self.get(analyzer, "100 < emp.sal")
+        assert ai.interval == Interval.at_least(100, closed=False)
+
+    def test_constant_expression_bound(self, analyzer):
+        ai = self.get(analyzer, "emp.sal <= 1.1 * 30000")
+        assert ai.interval == Interval.at_most(pytest.approx(33000.0))
+
+    def test_string_bound(self, analyzer):
+        ai = self.get(analyzer, 'emp.name = "Bob"')
+        assert ai.interval == Interval.point("Bob")
+
+    def test_not_equal_not_indexable(self, analyzer):
+        assert self.get(analyzer, "emp.sal != 100") is None
+
+    def test_previous_not_indexable(self, analyzer):
+        assert self.get(analyzer, "previous emp.sal < 100") is None
+
+    def test_join_not_indexable(self, analyzer):
+        expr = condition(analyzer, "emp.dno = dept.dno")
+        assert interval_of_conjunct(expr, "emp") is None
+
+    def test_arithmetic_on_attr_not_indexable(self, analyzer):
+        assert self.get(analyzer, "emp.sal * 2 < 100") is None
+
+    def test_wrong_variable(self, analyzer):
+        expr = condition(analyzer, 'dept.name = "Sales"')
+        assert interval_of_conjunct(expr, "emp") is None
+
+
+class TestIntersect:
+    def test_overlap(self):
+        result = intersect(Interval(0, 10), Interval(5, 15))
+        assert result == Interval(5, 10)
+
+    def test_closure_combination(self):
+        result = intersect(Interval.at_least(5, closed=False),
+                           Interval.at_most(9, closed=True))
+        assert result == Interval(5, 9, False, True)
+
+    def test_same_bound_closures_and(self):
+        result = intersect(Interval(0, 5, True, True),
+                           Interval(0, 5, False, True))
+        assert result == Interval(0, 5, False, True)
+
+    def test_disjoint(self):
+        assert intersect(Interval(0, 1), Interval(2, 3)) is None
+
+    def test_touching_open(self):
+        assert intersect(Interval(0, 5, True, False),
+                         Interval(5, 9)) is None
+        assert intersect(Interval(0, 5), Interval(5, 9)) == \
+            Interval.point(5)
+
+
+class TestAnalyzeSelection:
+    def analyze(self, analyzer, text, var="emp"):
+        expr = condition(analyzer, text)
+        graph = build_condition_graph(
+            expr, sorted({"emp", "dept", "job"}))
+        return analyze_selection(graph.selections[var], var)
+
+    def test_paper_range_predicate(self, analyzer):
+        """C1 < emp.sal <= C2, the paper's benchmark predicate shape."""
+        sel = self.analyze(analyzer,
+                           "30000 < emp.sal and emp.sal <= 40000")
+        assert sel.anchor.attr == "sal"
+        assert sel.anchor.interval == Interval(30000, 40000, False, True)
+        assert sel.residual is None
+
+    def test_point_preferred_over_range(self, analyzer):
+        sel = self.analyze(analyzer, "emp.sal > 10 and emp.dno = 3")
+        assert sel.anchor.attr == "dno"
+        assert sel.residual is not None
+
+    def test_residual_keeps_other_conjuncts(self, analyzer):
+        sel = self.analyze(analyzer,
+                           "emp.sal > 10 and emp.name != \"Bob\"")
+        assert sel.anchor.attr == "sal"
+        assert sel.residual is not None
+
+    def test_no_indexable_conjunct(self, analyzer):
+        sel = self.analyze(analyzer, "emp.sal != 10")
+        assert sel.anchor is None
+        assert sel.residual is not None
+
+    def test_unsatisfiable(self, analyzer):
+        sel = self.analyze(analyzer, "emp.sal > 10 and emp.sal < 5")
+        assert sel.unsatisfiable
+
+    def test_empty_conjuncts(self):
+        sel = analyze_selection([], "emp")
+        assert sel.anchor is None
+        assert sel.residual is None
+
+
+class TestEquiJoin:
+    def test_extract(self, analyzer):
+        expr = condition(analyzer, "emp.dno = dept.dno")
+        join = equijoin_of_conjunct(expr)
+        assert join.left_var == "emp"
+        assert join.right_var == "dept"
+        assert join.left_position == 3
+        assert join.right_position == 0
+
+    def test_reversed(self, analyzer):
+        expr = condition(analyzer, "emp.dno = dept.dno")
+        join = equijoin_of_conjunct(expr).reversed()
+        assert join.left_var == "dept"
+
+    def test_non_equality_rejected(self, analyzer):
+        expr = condition(analyzer, "emp.dno < dept.dno")
+        assert equijoin_of_conjunct(expr) is None
+
+    def test_previous_rejected(self, analyzer):
+        expr = condition(analyzer, "previous emp.jno = job.jno")
+        assert equijoin_of_conjunct(expr) is None
+
+    def test_same_var_rejected(self, analyzer):
+        expr = condition(analyzer, "emp.dno = emp.jno")
+        assert equijoin_of_conjunct(expr) is None
+
+    def test_const_comparison_rejected(self, analyzer):
+        expr = condition(analyzer, "emp.dno = 7")
+        assert equijoin_of_conjunct(expr) is None

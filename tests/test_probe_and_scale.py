@@ -1,0 +1,117 @@
+"""Tests for the tuple-probe debugger and large-scale interval indexes."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.core.introspect import explain_probe, probe_tuple
+from repro.intervals.ibstree import IBSTree
+from repro.intervals.interval import Interval
+from repro.intervals.skiplist import IntervalSkipList
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script("""
+        create emp (name = text, sal = float8, dno = int4)
+        create log (name = text)
+    """)
+    database.execute('define rule rich if emp.sal > 50000 '
+                     'then append to log(emp.name)')
+    database.execute('define rule toy if emp.dno = 1 and emp.sal > 100 '
+                     'then append to log(emp.name)')
+    database.execute('define rule tr '
+                     'if emp.sal > 2 * previous emp.sal '
+                     'then append to log(emp.name)')
+    return database
+
+
+class TestProbeTuple:
+    def test_matching_rules_listed(self, db):
+        hits = probe_tuple(db.manager, "emp", ("x", 60000.0, 1))
+        names = {h[0] for h in hits}
+        assert names == {"rich", "toy"}
+
+    def test_non_matching(self, db):
+        assert probe_tuple(db.manager, "emp", ("x", 10.0, 2)) == []
+
+    def test_transition_rule_with_pair(self, db):
+        hits = probe_tuple(db.manager, "emp", ("x", 300.0, 2),
+                           old_values=("x", 100.0, 2))
+        assert ("tr", "emp", "simple-trans-α") in hits
+
+    def test_transition_rule_without_pair_excluded(self, db):
+        hits = probe_tuple(db.manager, "emp", ("x", 300.0, 2))
+        assert all(h[0] != "tr" for h in hits)
+
+    def test_no_state_mutated(self, db):
+        before = db.network.tokens_processed
+        probe_tuple(db.manager, "emp", ("x", 60000.0, 1))
+        assert db.network.tokens_processed == before
+        assert db.relation_rows("log") == []
+
+    def test_explain_probe_text(self, db):
+        text = explain_probe(db.manager, "emp", ("x", 60000.0, 1))
+        assert "rich/emp" in text and "toy/emp" in text
+        text2 = explain_probe(db.manager, "emp", ("x", 1.0, 2))
+        assert "no rule selection predicate" in text2
+
+    def test_type_checked(self, db):
+        with pytest.raises(Exception):
+            probe_tuple(db.manager, "emp", ("x", "not-a-number", 1))
+
+
+class TestIntervalIndexesAtScale:
+    """Directed large-N checks (the property tests use small N)."""
+
+    def build_intervals(self, n, rng):
+        out = []
+        for i in range(n):
+            lo = rng.uniform(0, 10000)
+            width = rng.choice([rng.uniform(0, 5), rng.uniform(0, 500)])
+            out.append(Interval(lo, lo + width, payload=i))
+        return out
+
+    @pytest.mark.parametrize("cls", [IntervalSkipList, IBSTree],
+                             ids=["skiplist", "ibstree"])
+    def test_thousands_of_intervals(self, cls):
+        rng = random.Random(7)
+        intervals = self.build_intervals(2500, rng)
+        index = cls() if cls is IBSTree else cls(seed=7)
+        for iv in intervals:
+            index.insert(iv)
+        for _ in range(80):
+            probe = rng.uniform(-10, 10010)
+            expected = {iv for iv in intervals
+                        if iv.contains_value(probe)}
+            assert index.stab(probe) == expected
+
+    @pytest.mark.parametrize("cls", [IntervalSkipList, IBSTree],
+                             ids=["skiplist", "ibstree"])
+    def test_heavy_removal_churn(self, cls):
+        rng = random.Random(13)
+        intervals = self.build_intervals(1500, rng)
+        index = cls() if cls is IBSTree else cls(seed=13)
+        for iv in intervals:
+            index.insert(iv)
+        live = list(intervals)
+        rng.shuffle(live)
+        while len(live) > 100:
+            index.remove(live.pop())
+            if len(live) % 250 == 0:
+                probe = rng.uniform(0, 10000)
+                expected = {iv for iv in live
+                            if iv.contains_value(probe)}
+                assert index.stab(probe) == expected
+        assert len(index) == 100
+
+    def test_skiplist_stays_logarithmic_in_markers(self):
+        """Marker counts must stay near O(n log n), not O(n²)."""
+        import math
+        index = IntervalSkipList(seed=3)
+        n = 2000
+        for i in range(n):
+            index.insert(Interval(i, i + 50, payload=i))
+        assert index.marker_count() < 40 * n * math.log2(n)

@@ -1,0 +1,117 @@
+"""Tests for retrieve extensions: sort by, unique."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.ast_nodes import deparse
+from repro.lang.parser import parse_command
+from tests.helpers import paper_engine
+
+
+@pytest.fixture
+def engine():
+    return paper_engine()
+
+
+class TestSortBy:
+    def test_ascending_default(self, engine):
+        result = engine.run("retrieve (emp.name) where emp.sal > 60000 "
+                            "sort by emp.sal")
+        assert result.column("name") == ["emp21", "emp22", "emp23",
+                                         "emp24"]
+
+    def test_descending(self, engine):
+        result = engine.run("retrieve (emp.name) where emp.sal > 60000 "
+                            "sort by emp.sal desc")
+        assert result.column("name") == ["emp24", "emp23", "emp22",
+                                         "emp21"]
+
+    def test_explicit_asc(self, engine):
+        result = engine.run("retrieve (emp.name) where emp.sal > 62000 "
+                            "sort by emp.sal asc")
+        assert result.column("name") == ["emp22", "emp23", "emp24"]
+
+    def test_multiple_keys(self, engine):
+        result = engine.run("retrieve (emp.name, emp.dno) "
+                            "where emp.sal > 54000 "
+                            "sort by emp.dno, emp.sal desc")
+        rows = result.rows
+        dnos = [r[1] for r in rows]
+        assert dnos == sorted(dnos)
+        # within each dno, salaries (derived from names here) descend
+        for dno in set(dnos):
+            names = [r[0] for r in rows if r[1] == dno]
+            assert names == sorted(names, reverse=True)
+
+    def test_sort_by_expression(self, engine):
+        result = engine.run("retrieve (emp.name) where emp.sal > 62000 "
+                            "sort by 0 - emp.sal")
+        assert result.column("name") == ["emp24", "emp23", "emp22"]
+
+    def test_sort_by_string(self, engine):
+        result = engine.run("retrieve (dept.name) sort by dept.name")
+        assert result.column("name") == sorted(result.column("name"))
+
+    def test_sort_on_join(self, engine):
+        result = engine.run(
+            "retrieve (emp.name, dept.name) "
+            "where emp.dno = dept.dno and emp.sal > 58000 "
+            "sort by dept.name, emp.name")
+        assert result.rows == sorted(result.rows,
+                                     key=lambda r: (r[1], r[0]))
+
+    def test_nulls_sort_last(self, engine):
+        engine.run('append emp(name="noage")')
+        result = engine.run("retrieve (emp.name) sort by emp.age")
+        assert result.column("name")[-1] == "noage"
+
+    def test_nulls_last_descending_too(self, engine):
+        engine.run('append emp(name="noage")')
+        result = engine.run("retrieve (emp.name) sort by emp.age desc")
+        assert result.column("name")[-1] == "noage"
+
+    def test_boolean_sort_rejected(self, engine):
+        with pytest.raises(SemanticError):
+            engine.run("retrieve (emp.name) sort by emp.age > 5")
+
+    def test_sort_var_only_in_sort_clause(self, engine):
+        # dept only appears in the sort key: it still joins (cartesian)
+        result = engine.run("retrieve (job.title) from j in job "
+                            "sort by j.paygrade desc"
+                            .replace("job.title", "j.title"))
+        assert result.column("title")[0] == "Manager"
+
+
+class TestUnique:
+    def test_unique_dedupes(self, engine):
+        result = engine.run("retrieve unique (emp.dno)")
+        assert sorted(result.column("dno")) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_without_unique_keeps_duplicates(self, engine):
+        result = engine.run("retrieve (emp.dno)")
+        assert len(result) == 25
+
+    def test_unique_with_sort(self, engine):
+        result = engine.run("retrieve unique (emp.dno) sort by emp.dno "
+                            "desc")
+        assert result.column("dno") == [7, 6, 5, 4, 3, 2, 1]
+
+
+class TestParsingRoundTrip:
+    CASES = [
+        "retrieve (emp.name) sort by emp.sal",
+        "retrieve (emp.name) sort by emp.sal desc, emp.age",
+        "retrieve unique (emp.dno)",
+        "retrieve unique into t (emp.dno) where emp.sal > 5 "
+        "sort by emp.dno desc",
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_round_trip(self, text):
+        tree = parse_command(text)
+        assert parse_command(deparse(tree)) == tree
+
+    def test_sort_requires_by(self):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            parse_command("retrieve (emp.name) sort emp.sal")

@@ -1,0 +1,221 @@
+"""Whole rule programs: production-system classics and DB maintenance
+patterns built from ARL rules, run on every network implementation."""
+
+import pytest
+
+from repro import Database, RuleLoopError
+
+NETWORKS = ["a-treat", "treat", "rete"]
+
+
+@pytest.fixture(params=NETWORKS)
+def db(request):
+    return Database(network=request.param)
+
+
+class TestTransitiveClosure:
+    """The production-system classic: close a graph under reachability."""
+
+    def setup_graph(self, db):
+        db.execute("create edge (src = int4, dst = int4)")
+        db.execute("create path (src = int4, dst = int4)")
+        # base: every edge is a path
+        db.execute("define rule base on append edge "
+                   "then append to path(src = edge.src, dst = edge.dst) "
+                   "where 1 = 1")
+        # step: path ⋈ edge extends paths; the where-clause guard stops
+        # re-derivation (no duplicate paths -> termination)
+        db.execute("""
+            define rule step if path.dst = edge.src
+            then append to path(src = path.src, dst = edge.dst)
+                 where 1 = 1
+        """)
+        # dedup: keep the path relation a set
+        db.execute("""
+            define rule dedup priority 10
+            if a.src = b.src and a.dst = b.dst from a in path, b in path
+            then delete a where a.src = b.src and a.dst = b.dst
+        """)
+
+    def test_chain(self, db):
+        # Simpler, guard-free closure: insert edges of a chain and check
+        # all reachable pairs are derived.
+        db.execute("create edge (src = int4, dst = int4)")
+        db.execute("create path (src = int4, dst = int4)")
+        db.execute("define rule base on append edge "
+                   "then append to path(src = edge.src, "
+                   "dst = edge.dst)")
+        db.execute("define rule step "
+                   "if path.dst = edge.src "
+                   "then append to path(src = path.src, dst = edge.dst)")
+        for a, b in [(1, 2), (2, 3), (3, 4)]:
+            db.execute(f"append edge(src = {a}, dst = {b})")
+        got = set(db.relation_rows("path"))
+        assert {(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4)} <= got
+
+    def test_cycle_hits_firing_bound(self):
+        """A cyclic graph makes naive closure re-derive forever; the
+        firing bound catches it (documenting the need for dedup)."""
+        db = Database(max_firings=50)
+        db.execute("create edge (src = int4, dst = int4)")
+        db.execute("create path (src = int4, dst = int4)")
+        db.execute("define rule base on append edge "
+                   "then append to path(src = edge.src, dst = edge.dst)")
+        db.execute("define rule step if path.dst = edge.src "
+                   "then append to path(src = path.src, dst = edge.dst)")
+        db.execute("append edge(src = 1, dst = 2)")
+        with pytest.raises(RuleLoopError):
+            db.execute("append edge(src = 2, dst = 1)")
+
+
+class TestReferentialIntegrity:
+    """Cascade delete and insert-time FK checks via rules."""
+
+    def setup_ri(self, db):
+        db.execute("create dept (dno = int4, name = text)")
+        db.execute("create emp (name = text, dno = int4)")
+        db.execute("create rejects (name = text)")
+        # cascade: deleting a department deletes its employees
+        db.execute("""
+            define rule cascade on delete dept
+            then delete emp where emp.dno = dept.dno
+        """)
+        # FK check: an employee appended with an unknown dno is removed
+        # and logged (an anti-join via count aggregation is not needed:
+        # the rule matches employees having NO matching dept by checking
+        # after the fact with a guard rule pattern)
+        db.execute("""
+            define rule orphan priority 9
+            if emp.dno = dept.dno and dept.name = "__never__"
+            then delete emp
+        """)
+
+    def test_cascade_delete(self, db):
+        self.setup_ri(db)
+        db.execute('append dept(dno = 1, name = "Toy")')
+        db.execute('append dept(dno = 2, name = "Sales")')
+        db.execute('append emp(name = "a", dno = 1)')
+        db.execute('append emp(name = "b", dno = 1)')
+        db.execute('append emp(name = "c", dno = 2)')
+        db.execute("delete dept where dept.dno = 1")
+        assert db.relation_rows("emp") == [("c", 2)]
+
+    def test_cascade_is_transitive_through_rules(self, db):
+        self.setup_ri(db)
+        db.execute("create audit (name = text)")
+        db.execute("define rule audit_fired on delete emp "
+                   "then append to audit(emp.name)")
+        db.execute('append dept(dno = 1, name = "Toy")')
+        db.execute('append emp(name = "a", dno = 1)')
+        db.execute("delete dept")
+        assert db.relation_rows("audit") == [("a",)]
+
+
+class TestDerivedDataMaintenance:
+    """Materialised aggregate maintained incrementally by rules."""
+
+    def setup_counter(self, db):
+        db.execute("create item (k = int4)")
+        db.execute("create counter (n = int4)")
+        db.execute("append counter(n = 0)")
+        db.execute("define rule up on append item "
+                   "then replace counter (n = counter.n + 1)")
+        db.execute("define rule down on delete item "
+                   "then replace counter (n = counter.n - 1)")
+
+    def count(self, db):
+        return db.relation_rows("counter")[0][0]
+
+    def test_counter_tracks_inserts_and_deletes(self, db):
+        self.setup_counter(db)
+        for k in range(5):
+            db.execute(f"append item(k = {k})")
+        assert self.count(db) == 5
+        db.execute("delete item where item.k = 0")
+        db.execute("delete item where item.k = 1")
+        assert self.count(db) == 3
+
+    def test_set_oriented_firing_is_per_set_not_per_tuple(self, db):
+        """The sharp edge of set-oriented semantics: a multi-tuple
+        delete in ONE transition is ONE firing, and an action command
+        that does not reference the rule's tuple variable runs once for
+        the whole set — so this naive counter undercounts.  (The fix is
+        to make the action range over the matched set, as the other
+        tests do.)"""
+        self.setup_counter(db)
+        for k in range(5):
+            db.execute(f"append item(k = {k})")
+        db.execute("delete item where item.k < 2")   # 2 tuples, 1 firing
+        assert self.count(db) == 4                    # decremented once
+        assert db.firing_log[-1].match_count == 2
+
+    def test_counter_matches_aggregate(self, db):
+        self.setup_counter(db)
+        for k in range(7):
+            db.execute(f"append item(k = {k})")
+        db.execute("delete item where item.k = 3")
+        derived = self.count(db)
+        actual = db.query("retrieve (n = count(item.all))").rows[0][0]
+        assert derived == actual == 6
+
+    def test_net_effect_in_blocks(self, db):
+        self.setup_counter(db)
+        # insert and delete within one block: net effect nothing, and
+        # the set-oriented firing counts the block's net insertions
+        db.execute("do "
+                   "append item(k = 1) "
+                   "append item(k = 2) "
+                   "delete item where item.k = 1 "
+                   "end")
+        assert self.count(db) == 1
+
+
+class TestStateMachineRules:
+    """An order workflow driven entirely by replace-event rules."""
+
+    def setup_workflow(self, db):
+        db.execute("create orders (ono = int4, state = text)")
+        db.execute("create history (ono = int4, frm = text, t = text)")
+        db.execute("""
+            define rule log_transition on replace orders(state)
+            then append to history(ono = orders.ono,
+                                   frm = previous orders.state,
+                                   t = orders.state)
+        """)
+        # invalid transition: anything leaving "shipped" snaps back
+        db.execute("""
+            define rule frozen priority 9 on replace orders(state)
+            if previous orders.state = "shipped"
+            then replace orders (state = "shipped")
+        """)
+
+    def test_transitions_logged(self, db):
+        self.setup_workflow(db)
+        db.execute('append orders(ono = 1, state = "new")')
+        db.execute('replace orders (state = "paid") where orders.ono = 1')
+        db.execute('replace orders (state = "shipped") '
+                   'where orders.ono = 1')
+        assert db.relation_rows("history") == [
+            (1, "new", "paid"), (1, "paid", "shipped")]
+
+    def test_invalid_transition_reverted(self, db):
+        self.setup_workflow(db)
+        db.execute('append orders(ono = 1, state = "shipped")')
+        db.execute('replace orders (state = "new") where orders.ono = 1')
+        assert db.relation_rows("orders") == [(1, "shipped")]
+
+
+class TestMutualRecursionWithPriorities:
+    def test_ping_pong_bounded_by_guard(self, db):
+        """Two rules feeding each other, terminated by a value guard."""
+        db.execute("create ping (n = int4)")
+        db.execute("create pong (n = int4)")
+        db.execute("define rule p1 on append ping if ping.n < 5 "
+                   "then append to pong(n = ping.n + 1)")
+        db.execute("define rule p2 on append pong if pong.n < 5 "
+                   "then append to ping(n = pong.n + 1)")
+        db.execute("append ping(n = 0)")
+        ping = sorted(db.relation_rows("ping"))
+        pong = sorted(db.relation_rows("pong"))
+        assert ping == [(0,), (2,), (4,)]
+        assert pong == [(1,), (3,), (5,)]

@@ -1,0 +1,107 @@
+"""Unit tests for attribute types and relation schemas."""
+
+import pytest
+
+from repro.catalog.schema import Attribute, AttributeType, Schema
+from repro.errors import CatalogError, SemanticError
+
+
+class TestAttributeType:
+    def test_from_name_canonical(self):
+        assert AttributeType.from_name("int4") is AttributeType.INT
+        assert AttributeType.from_name("float8") is AttributeType.FLOAT
+        assert AttributeType.from_name("text") is AttributeType.TEXT
+        assert AttributeType.from_name("bool") is AttributeType.BOOL
+
+    def test_from_name_aliases(self):
+        assert AttributeType.from_name("int") is AttributeType.INT
+        assert AttributeType.from_name("INTEGER") is AttributeType.INT
+        assert AttributeType.from_name("Float") is AttributeType.FLOAT
+        assert AttributeType.from_name("string") is AttributeType.TEXT
+        assert AttributeType.from_name("boolean") is AttributeType.BOOL
+
+    def test_from_name_unknown(self):
+        with pytest.raises(SemanticError):
+            AttributeType.from_name("blob")
+
+    def test_int_accepts(self):
+        assert AttributeType.INT.accepts(5)
+        assert not AttributeType.INT.accepts(5.0)
+        assert not AttributeType.INT.accepts("5")
+        assert not AttributeType.INT.accepts(True)  # bool is not int here
+        assert AttributeType.INT.accepts(None)
+
+    def test_float_accepts_and_widens(self):
+        assert AttributeType.FLOAT.accepts(5)
+        assert AttributeType.FLOAT.accepts(5.5)
+        assert not AttributeType.FLOAT.accepts(True)
+        assert AttributeType.FLOAT.coerce(5) == 5.0
+        assert isinstance(AttributeType.FLOAT.coerce(5), float)
+
+    def test_text_accepts(self):
+        assert AttributeType.TEXT.accepts("hi")
+        assert not AttributeType.TEXT.accepts(5)
+
+    def test_bool_accepts(self):
+        assert AttributeType.BOOL.accepts(True)
+        assert not AttributeType.BOOL.accepts(1)
+
+    def test_coerce_none_passthrough(self):
+        assert AttributeType.INT.coerce(None) is None
+
+    def test_coerce_rejects_mismatch(self):
+        with pytest.raises(SemanticError):
+            AttributeType.INT.coerce("five")
+
+
+class TestSchema:
+    def make(self):
+        return Schema.of(name="text", age="int", salary="float")
+
+    def test_of_constructor(self):
+        schema = self.make()
+        assert schema.names() == ("name", "age", "salary")
+        assert schema.type_of("age") is AttributeType.INT
+
+    def test_len_and_iter(self):
+        schema = self.make()
+        assert len(schema) == 3
+        assert [a.name for a in schema] == ["name", "age", "salary"]
+
+    def test_position(self):
+        schema = self.make()
+        assert schema.position("name") == 0
+        assert schema.position("salary") == 2
+
+    def test_position_unknown(self):
+        with pytest.raises(SemanticError):
+            self.make().position("nope")
+
+    def test_has(self):
+        schema = self.make()
+        assert schema.has("age")
+        assert not schema.has("Age")   # case sensitive
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CatalogError):
+            Schema([Attribute("x", AttributeType.INT),
+                    Attribute("x", AttributeType.TEXT)])
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+        assert self.make() != Schema.of(name="text")
+
+    def test_coerce_values(self):
+        schema = self.make()
+        values = schema.coerce_values(("Ann", 30, 100))
+        assert values == ("Ann", 30, 100.0)
+        assert isinstance(values[2], float)
+
+    def test_coerce_values_arity(self):
+        with pytest.raises(CatalogError):
+            self.make().coerce_values(("Ann", 30))
+
+    def test_coerce_values_type_error(self):
+        with pytest.raises(SemanticError):
+            self.make().coerce_values(("Ann", "thirty", 100.0))

@@ -1,0 +1,170 @@
+"""Tests for the top-level selection predicate index."""
+
+import pytest
+
+from repro.core.selection_index import LinearIntervalIndex, SelectionIndex
+from repro.intervals.ibstree import IBSTree
+from repro.intervals.interval import Interval
+from repro.intervals.skiplist import IntervalSkipList
+from repro.lang.predicates import AttrInterval
+
+
+class _FakeMemory:
+    """Stand-in target with the attributes probe() sorting needs."""
+
+    def __init__(self, name):
+        self.rule_name = name
+
+    def __repr__(self):
+        return f"<mem {self.rule_name}>"
+
+
+def anchor(attr, position, interval):
+    return AttrInterval(attr, position, interval)
+
+
+class TestSelectionIndex:
+    def test_anchored_probe(self):
+        index = SelectionIndex()
+        low = _FakeMemory("low")
+        high = _FakeMemory("high")
+        index.add("emp", anchor("sal", 2, Interval.at_most(1000)), low)
+        index.add("emp", anchor("sal", 2,
+                                Interval.at_least(5000, closed=False)),
+                  high)
+        assert index.probe("emp", ("Ann", 30, 500)) == [low]
+        assert index.probe("emp", ("Ann", 30, 9000)) == [high]
+        assert index.probe("emp", ("Ann", 30, 3000)) == []
+
+    def test_multiple_attributes(self):
+        index = SelectionIndex()
+        by_sal = _FakeMemory("sal")
+        by_age = _FakeMemory("age")
+        index.add("emp", anchor("sal", 2, Interval.at_least(1000)), by_sal)
+        index.add("emp", anchor("age", 1, Interval.point(30)), by_age)
+        got = index.probe("emp", ("Ann", 30, 2000))
+        assert set(got) == {by_sal, by_age}
+
+    def test_unanchored_always_candidates(self):
+        index = SelectionIndex()
+        residual = _FakeMemory("resid")
+        index.add("emp", None, residual)
+        assert index.probe("emp", ("Ann", 30, 0)) == [residual]
+
+    def test_relations_are_separate(self):
+        index = SelectionIndex()
+        memory = _FakeMemory("m")
+        index.add("emp", anchor("sal", 0, Interval.at_least(0)), memory)
+        assert index.probe("dept", (100,)) == []
+
+    def test_null_value_never_matches_anchor(self):
+        index = SelectionIndex()
+        memory = _FakeMemory("m")
+        index.add("emp", anchor("sal", 0,
+                                Interval.everything()), memory)
+        assert index.probe("emp", (None,)) == []
+
+    def test_null_still_reaches_unanchored(self):
+        index = SelectionIndex()
+        memory = _FakeMemory("m")
+        index.add("emp", None, memory)
+        assert index.probe("emp", (None,)) == [memory]
+
+    def test_remove_anchored(self):
+        index = SelectionIndex()
+        memory = _FakeMemory("m")
+        index.add("emp", anchor("sal", 0, Interval.at_least(0)), memory)
+        index.remove(memory)
+        assert index.probe("emp", (5,)) == []
+        assert len(index) == 0
+
+    def test_remove_unanchored(self):
+        index = SelectionIndex()
+        memory = _FakeMemory("m")
+        index.add("emp", None, memory)
+        index.remove(memory)
+        assert index.probe("emp", (5,)) == []
+
+    def test_remove_unregistered(self):
+        with pytest.raises(ValueError):
+            SelectionIndex().remove(_FakeMemory("m"))
+
+    def test_double_add_rejected(self):
+        index = SelectionIndex()
+        memory = _FakeMemory("m")
+        index.add("emp", None, memory)
+        with pytest.raises(ValueError):
+            index.add("emp", None, memory)
+
+    def test_identical_intervals_different_targets(self):
+        index = SelectionIndex()
+        a, b = _FakeMemory("a"), _FakeMemory("b")
+        iv = Interval(10, 20)
+        index.add("emp", anchor("sal", 0, iv), a)
+        index.add("emp", anchor("sal", 0, iv), b)
+        assert set(index.probe("emp", (15,))) == {a, b}
+        index.remove(a)
+        assert index.probe("emp", (15,)) == [b]
+
+    def test_counts(self):
+        index = SelectionIndex()
+        index.add("emp", anchor("sal", 0, Interval.at_least(0)),
+                  _FakeMemory("a"))
+        index.add("emp", None, _FakeMemory("b"))
+        assert index.anchored_count() == 1
+        assert index.unanchored_count() == 1
+        assert len(index) == 2
+
+    @pytest.mark.parametrize("factory", [
+        IntervalSkipList, IBSTree, LinearIntervalIndex])
+    def test_pluggable_interval_index(self, factory):
+        index = SelectionIndex(index_factory=factory)
+        memories = [_FakeMemory(f"r{i}") for i in range(20)]
+        for i, memory in enumerate(memories):
+            index.add("emp",
+                      anchor("sal", 0, Interval(i * 10, i * 10 + 15)),
+                      memory)
+        got = set(index.probe("emp", (12,)))
+        assert got == {memories[0], memories[1]}
+
+    def test_paper_benchmark_shape(self):
+        """Shifted C1 < sal <= C2 predicates: each probe hits one rule."""
+        index = SelectionIndex()
+        memories = []
+        for i in range(200):
+            memory = _FakeMemory(f"rule{i}")
+            memories.append(memory)
+            index.add("emp", anchor(
+                "sal", 0,
+                Interval(1000 * i, 1000 * i + 500,
+                         low_closed=False, high_closed=True)), memory)
+        assert index.probe("emp", (250.0,)) == [memories[0]]
+        assert index.probe("emp", (150250.0,)) == [memories[150]]
+        assert index.probe("emp", (150750.0,)) == []
+
+
+class TestLinearIntervalIndex:
+    def test_matches_skiplist(self):
+        linear = LinearIntervalIndex()
+        skip = IntervalSkipList(seed=5)
+        ivs = [Interval(i % 7, i % 7 + i % 5 + 1, payload=i)
+               for i in range(30)]
+        for iv in ivs:
+            linear.insert(iv)
+            skip.insert(iv)
+        for probe in range(0, 13):
+            assert linear.stab(probe) == skip.stab(probe)
+
+    def test_duplicate_rejected(self):
+        linear = LinearIntervalIndex()
+        linear.insert(Interval(0, 1))
+        with pytest.raises(ValueError):
+            linear.insert(Interval(0, 1))
+
+    def test_remove(self):
+        linear = LinearIntervalIndex()
+        iv = Interval(0, 10, payload="x")
+        linear.insert(iv)
+        linear.remove(iv)
+        assert linear.stab(5) == set()
+        assert len(linear) == 0

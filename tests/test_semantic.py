@@ -1,0 +1,278 @@
+"""Unit tests for semantic analysis."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Schema
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_command
+from repro.lang.semantic import SemanticAnalyzer
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.create_relation("emp", Schema.of(
+        name="text", age="int", sal="float", dno="int", jno="int"))
+    cat.create_relation("dept", Schema.of(
+        dno="int", name="text", building="text"))
+    cat.create_relation("job", Schema.of(
+        jno="int", title="text", paygrade="int", description="text"))
+    cat.create_relation("salaryerror", Schema.of(
+        name="text", oldsal="float", newsal="float"))
+    cat.create_relation("log", Schema.of(name="text"))
+    return cat
+
+
+@pytest.fixture
+def analyzer(catalog):
+    return SemanticAnalyzer(catalog)
+
+
+def check(analyzer, text):
+    return analyzer.analyze(parse_command(text))
+
+
+class TestDDL:
+    def test_create_ok(self, analyzer):
+        check(analyzer, "create proj (pno = int, pname = text)")
+
+    def test_create_duplicate_relation(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "create emp (x = int)")
+
+    def test_create_duplicate_column(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "create t (x = int, x = text)")
+
+    def test_create_bad_type(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "create t (x = blob)")
+
+    def test_destroy_missing(self, analyzer):
+        with pytest.raises(Exception):
+            check(analyzer, "destroy nothere")
+
+    def test_index_ok(self, analyzer):
+        check(analyzer, "define index isal on emp (sal) using btree")
+
+    def test_index_bad_attribute(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define index ix on emp (bogus)")
+
+    def test_index_bad_kind(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define index ix on emp (sal) using gin")
+
+
+class TestAppend:
+    def test_named_ok(self, analyzer):
+        cmd = check(analyzer, 'append emp(name="A", age=30, sal=1.0, '
+                              'dno=1, jno=1)')
+        assert all(t.name for t in cmd.targets)
+
+    def test_named_partial_ok(self, analyzer):
+        check(analyzer, 'append emp(name="A")')
+
+    def test_positional_ok(self, analyzer):
+        check(analyzer, 'append emp("A", 30, 1.0, 1, 1)')
+
+    def test_positional_arity_mismatch(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, 'append emp("A", 30)')
+
+    def test_mixed_targets_rejected(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, 'append emp(name="A", 30)')
+
+    def test_unknown_attribute(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "append emp(bogus=1)")
+
+    def test_type_mismatch(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, 'append emp(age="thirty")')
+
+    def test_int_widens_to_float(self, analyzer):
+        check(analyzer, "append emp(sal=50000)")
+
+    def test_float_does_not_narrow_to_int(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "append emp(age=30.5)")
+
+    def test_duplicate_target(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "append emp(age=1, age=2)")
+
+    def test_all_expansion(self, analyzer):
+        cmd = check(analyzer, "append log(dept.name) where dept.dno = 1")
+        assert cmd.targets[0].expr.position == 1
+
+    def test_unknown_relation(self, analyzer):
+        with pytest.raises(Exception):
+            check(analyzer, "append nothere(x=1)")
+
+
+class TestDeleteReplace:
+    def test_delete_implicit_var(self, analyzer):
+        cmd = check(analyzer, 'delete emp where emp.name = "Bob"')
+        assert cmd.where.left.position == 0
+
+    def test_delete_from_list(self, analyzer):
+        check(analyzer, "delete e from e in emp where e.age > 90")
+
+    def test_delete_unknown_var(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "delete nothere")
+
+    def test_replace_ok(self, analyzer):
+        cmd = check(analyzer, "replace emp (sal = 30000) "
+                              'where emp.dno = dept.dno and '
+                              'dept.name = "Sales"')
+        assert cmd.assignments[0].name == "sal"
+
+    def test_replace_unknown_attr(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "replace emp (bogus = 1)")
+
+    def test_replace_duplicate_assignment(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "replace emp (age = 1, age = 2)")
+
+    def test_replace_type_mismatch(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, 'replace emp (age = "x")')
+
+
+class TestRetrieve:
+    def test_ok(self, analyzer):
+        cmd = check(analyzer, "retrieve (emp.name, emp.sal) "
+                              "where emp.age > 30")
+        assert cmd.targets[0].expr.position == 0
+
+    def test_all_expansion(self, analyzer):
+        cmd = check(analyzer, "retrieve (dept.all)")
+        assert len(cmd.targets) == 3
+
+    def test_into_existing_rejected(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "retrieve into emp (dept.name)")
+
+    def test_derived_duplicate_names_allowed(self, analyzer):
+        # attr names from different variables may collide; only explicit
+        # renames must be unique
+        check(analyzer, "retrieve (emp.name, dept.name)")
+
+    def test_explicit_duplicate_names_rejected(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "retrieve (n = emp.name, n = dept.name)")
+
+    def test_renamed_duplicates_ok(self, analyzer):
+        check(analyzer, "retrieve (emp.name, dname = dept.name)")
+
+    def test_self_join_via_from(self, analyzer):
+        check(analyzer, "retrieve (a.name, b.name2) "
+                        "from a in emp, b in emp "
+                        "where a.dno = b.dno" .replace("name2", "age"))
+
+    def test_where_must_be_boolean(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "retrieve (emp.name) where emp.age + 1")
+
+    def test_comparison_type_mismatch(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, 'retrieve (emp.name) where emp.age = "x"')
+
+
+class TestExpressionsRules:
+    def test_previous_outside_rule_rejected(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "retrieve (emp.name) "
+                            "where emp.sal > previous emp.sal")
+
+    def test_new_outside_rule_rejected(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "retrieve (emp.name) where new(emp)")
+
+    def test_rule_with_previous_ok(self, analyzer):
+        check(analyzer, "define rule r if emp.sal > 1.1 * previous emp.sal "
+                        "then append to salaryerror(emp.name, "
+                        "previous emp.sal, emp.sal)")
+
+    def test_rule_with_new_ok(self, analyzer):
+        check(analyzer, "define rule r if new(emp) "
+                        "then append to log(emp.name)")
+
+    def test_rule_condition_must_be_boolean(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define rule r if emp.age + 1 then delete emp")
+
+    def test_rule_needs_condition_or_event(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define rule r then delete emp")
+
+    def test_event_only_rule_ok(self, analyzer):
+        check(analyzer, "define rule r on delete emp "
+                        "then append to log(emp.name)")
+
+    def test_event_attrs_only_for_replace(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define rule r on append emp(sal) "
+                            "then delete emp")
+
+    def test_event_replace_attrs_ok(self, analyzer):
+        check(analyzer, "define rule r on replace emp(sal) "
+                        "then append to log(emp.name)")
+
+    def test_event_bad_attr(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define rule r on replace emp(bogus) "
+                            "then delete emp")
+
+    def test_finddemotions(self, analyzer):
+        check(analyzer,
+              "define rule finddemotions on replace emp(jno) "
+              "if newjob.jno = emp.jno "
+              "and oldjob.jno = previous emp.jno "
+              "and newjob.paygrade < oldjob.paygrade "
+              "from oldjob in job, newjob in job "
+              "then append to log(emp.name)")
+
+    def test_rule_action_shares_condition_vars(self, analyzer):
+        cmd = check(analyzer,
+                    "define rule r if emp.dno = dept.dno "
+                    'and dept.name = "Toy" '
+                    "then append to log(emp.name)")
+        append = cmd.action
+        assert append.targets[0].expr.position == 0
+
+    def test_duplicate_rule_name(self, analyzer, catalog):
+        catalog.store_rule("r", object())
+        with pytest.raises(SemanticError):
+            check(analyzer, "define rule r if new(emp) then delete emp")
+
+    def test_rule_management_not_in_action(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define rule r if new(emp) "
+                            "then create t (x = int)")
+
+    def test_nested_blocks_rejected(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "define rule r if new(emp) then do "
+                            "do delete emp end end")
+
+    def test_block_outside_rule_nested_rejected(self, analyzer):
+        # the parser accepts nested do blocks syntactically only when
+        # written as commands; semantic analysis rejects them
+        with pytest.raises(SemanticError):
+            check(analyzer, "do do delete emp end end")
+
+    def test_rule_definition_inside_block_rejected(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "do define rule r if new(emp) then delete emp "
+                            "end")
+
+    def test_var_bound_twice_conflicting(self, analyzer):
+        with pytest.raises(SemanticError):
+            check(analyzer, "retrieve (e.name) from e in emp, e in dept")

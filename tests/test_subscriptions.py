@@ -1,0 +1,134 @@
+"""Tests for asynchronous trigger delivery (paper §8 future work)."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script("""
+        create stock (symbol = text, price = float8)
+        create alerts (symbol = text)
+    """)
+    database.execute("define rule spike "
+                     "if stock.price > 1.2 * previous stock.price "
+                     "then append to alerts(stock.symbol)")
+    database.execute('append stock(symbol="ACME", price=100)')
+    return database
+
+
+class TestSubscribe:
+    def test_notification_delivered(self, db):
+        received = []
+        db.subscribe(received.append, "spike")
+        db.execute('replace stock (price = 150) '
+                   'where stock.symbol = "ACME"')
+        assert len(received) == 1
+        notification = received[0]
+        assert notification.rule_name == "spike"
+        assert len(notification) == 1
+        snapshot = notification.matches[0]
+        assert snapshot["stock"] == ("ACME", 150.0)
+        assert snapshot.previous["stock"] == ("ACME", 100.0)
+
+    def test_no_notification_without_firing(self, db):
+        received = []
+        db.subscribe(received.append, "spike")
+        db.execute('replace stock (price = 105) '
+                   'where stock.symbol = "ACME"')
+        assert received == []
+
+    def test_wildcard_subscription(self, db):
+        received = []
+        db.subscribe(received.append)          # every rule
+        db.execute("define rule any on append alerts "
+                   "then append to alerts(symbol = \"echo\") "
+                   "where alerts.symbol != \"echo\"")
+        db.execute('replace stock (price = 200) '
+                   'where stock.symbol = "ACME"')
+        names = [n.rule_name for n in received]
+        assert "spike" in names and "any" in names
+
+    def test_rule_filter(self, db):
+        spike_seen = []
+        other_seen = []
+        db.subscribe(spike_seen.append, "spike")
+        db.subscribe(other_seen.append, "other")
+        db.execute('replace stock (price = 200) '
+                   'where stock.symbol = "ACME"')
+        assert len(spike_seen) == 1
+        assert other_seen == []
+
+    def test_delivery_after_cascade_settles(self, db):
+        """The subscriber must observe the final post-cascade state."""
+        db.execute("define rule dampen on append alerts "
+                   "then replace stock (price = 100) "
+                   'where stock.symbol = alerts.symbol')
+        states = []
+
+        def observe(notification):
+            states.append(db.relation_rows("stock"))
+
+        db.subscribe(observe, "spike")
+        db.execute('replace stock (price = 200) '
+                   'where stock.symbol = "ACME"')
+        # by delivery time the dampen rule has already reset the price
+        assert states == [[("ACME", 100.0)]]
+
+    def test_unsubscribe(self, db):
+        received = []
+        token = db.subscribe(received.append, "spike")
+        assert db.unsubscribe(token)
+        assert not db.unsubscribe(token)
+        db.execute('replace stock (price = 200) '
+                   'where stock.symbol = "ACME"')
+        assert received == []
+
+    def test_subscriber_exception_isolated(self, db):
+        def boom(notification):
+            raise ValueError("subscriber bug")
+
+        received = []
+        db.subscribe(boom, "spike")
+        db.subscribe(received.append, "spike")
+        db.execute('replace stock (price = 200) '
+                   'where stock.symbol = "ACME"')
+        # the healthy subscriber was still served, the error captured
+        assert len(received) == 1
+        assert len(db.subscriptions.errors) == 1
+        assert isinstance(db.subscriptions.errors[0][1], ValueError)
+        # data is consistent
+        assert db.relation_rows("alerts") == [("ACME",)]
+
+    def test_set_oriented_snapshot(self, db):
+        db.execute('append stock(symbol="BETA", price=10)')
+        received = []
+        db.subscribe(received.append, "spike")
+        db.execute("do "
+                   'replace stock (price = 500) '
+                   'where stock.symbol = "ACME" '
+                   'replace stock (price = 50) '
+                   'where stock.symbol = "BETA" '
+                   "end")
+        assert len(received) == 1
+        assert len(received[0]) == 2
+        symbols = sorted(m["stock"][0] for m in received[0].matches)
+        assert symbols == ["ACME", "BETA"]
+
+    def test_sequence_numbers_match_firing_log(self, db):
+        received = []
+        db.subscribe(received.append, "spike")
+        db.execute('replace stock (price = 200) '
+                   'where stock.symbol = "ACME"')
+        assert received[0].sequence == db.firing_log[-1].sequence
+
+    def test_subscribing_mid_session(self, db):
+        db.execute('replace stock (price = 200) '
+                   'where stock.symbol = "ACME"')     # unobserved
+        received = []
+        db.subscribe(received.append, "spike")
+        db.execute('replace stock (price = 300) '
+                   'where stock.symbol = "ACME"')
+        assert len(received) == 1

@@ -1,0 +1,129 @@
+"""Transaction tests: begin/commit/abort with the rule system engaged."""
+
+import pytest
+
+from repro import Database, TransactionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("create t (a = int4, tag = text)")
+    database.execute("create log (tag = text)")
+    return database
+
+
+class TestBasics:
+    def test_commit_keeps_changes(self, db):
+        db.begin()
+        db.execute('append t(a = 1, tag = "x")')
+        db.commit()
+        assert db.relation_rows("t") == [(1, "x")]
+
+    def test_abort_undoes_insert(self, db):
+        db.begin()
+        db.execute('append t(a = 1, tag = "x")')
+        db.abort()
+        assert db.relation_rows("t") == []
+
+    def test_abort_undoes_delete(self, db):
+        db.execute('append t(a = 1, tag = "x")')
+        db.begin()
+        db.execute("delete t")
+        db.abort()
+        assert db.relation_rows("t") == [(1, "x")]
+
+    def test_abort_undoes_replace(self, db):
+        db.execute('append t(a = 1, tag = "x")')
+        db.begin()
+        db.execute('replace t (a = 99)')
+        db.abort()
+        assert db.relation_rows("t") == [(1, "x")]
+
+    def test_abort_restores_tids(self, db):
+        db.execute('append t(a = 1, tag = "x")')
+        tid = next(db.catalog.relation("t").scan()).tid
+        db.begin()
+        db.execute("delete t")
+        db.abort()
+        assert next(db.catalog.relation("t").scan()).tid == tid
+
+    def test_abort_mixed_sequence(self, db):
+        db.execute('append t(a = 1, tag = "keep")')
+        db.begin()
+        db.execute('append t(a = 2, tag = "new")')
+        db.execute('replace t (a = 10) where t.tag = "keep"')
+        db.execute('delete t where t.tag = "new"')
+        db.execute('append t(a = 3, tag = "other")')
+        db.abort()
+        assert db.relation_rows("t") == [(1, "keep")]
+
+    def test_autocommit_outside_transaction(self, db):
+        db.execute('append t(a = 1, tag = "x")')
+        assert db.relation_rows("t") == [(1, "x")]
+        with pytest.raises(TransactionError):
+            db.abort()
+
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.commit()
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_transaction_after_abort_reusable(self, db):
+        db.begin()
+        db.execute('append t(a = 1, tag = "x")')
+        db.abort()
+        db.begin()
+        db.execute('append t(a = 2, tag = "y")')
+        db.commit()
+        assert db.relation_rows("t") == [(2, "y")]
+
+
+class TestRulesAndAbort:
+    def test_rule_effects_also_undone(self, db):
+        """A rule firing inside the transaction is rolled back too."""
+        db.execute("define rule echo on append t "
+                   "then append to log(t.tag)")
+        db.begin()
+        db.execute('append t(a = 1, tag = "x")')
+        assert db.relation_rows("log") == [("x",)]
+        db.abort()
+        assert db.relation_rows("t") == []
+        assert db.relation_rows("log") == []
+
+    def test_network_consistent_after_abort(self, db):
+        """The α-memories must reflect the restored state: the rule
+        re-fires correctly after an abort."""
+        db.execute('define rule nobigs if t.a > 100 then delete t')
+        db.begin()
+        db.execute('append t(a = 1, tag = "small")')
+        db.abort()
+        db.execute('append t(a = 200, tag = "big")')
+        assert db.relation_rows("t") == []   # rule fired post-abort
+
+    def test_undo_does_not_trigger_rules(self, db):
+        db.execute("define rule ondel on delete t "
+                   "then append to log(t.tag)")
+        db.begin()
+        db.execute('append t(a = 1, tag = "x")')
+        db.abort()    # the undo deletes the tuple; the rule must not see
+        assert db.relation_rows("log") == []
+
+    def test_pattern_pnode_consistent_after_abort(self, db):
+        db.execute('create pairs (x = int4, y = int4)')
+        database = db
+        database._rules_suspended = True
+        database.execute("define rule join if a.a = b.a and a.tag != "
+                         "b.tag from a in t, b in t "
+                         "then append to pairs(x = a.a, y = b.a)")
+        database.execute('append t(a = 1, tag = "p")')
+        database.begin()
+        database.execute('append t(a = 1, tag = "q")')
+        assert len(database.network.pnode("join")) == 2
+        database.abort()
+        assert len(database.network.pnode("join")) == 0

@@ -1,0 +1,189 @@
+"""Network-level tests: virtual α-memories, storage accounting, the
+selection-index routing, and dynamic flushing."""
+
+import pytest
+
+from repro import Database
+from repro.core.alpha import VirtualAlphaMemory
+
+
+def make_db(policy="always", network="a-treat"):
+    db = Database(network=network, virtual_policy=policy)
+    db.execute_script("""
+        create emp (name = text, sal = float8, dno = int4)
+        create dept (dno = int4, name = text)
+        create log (name = text)
+    """)
+    for i in range(30):
+        db.execute(f'append emp(name="e{i}", sal={1000.0 * i}, '
+                   f'dno={i % 3})')
+    for d in range(3):
+        db.execute(f'append dept(dno={d}, name="d{d}")')
+    return db
+
+
+JOIN_RULE = ('define rule big if emp.sal > 5000 and emp.dno = dept.dno '
+             'and dept.name = "d1" then append to log(emp.name)')
+
+
+class TestVirtualMemories:
+    def test_always_policy_uses_virtual(self):
+        db = make_db("always")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        assert db.network.memory("big", "emp").is_virtual
+        assert db.network.memory("big", "dept").is_virtual
+
+    def test_never_policy_uses_stored(self):
+        db = make_db("never")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        assert not db.network.memory("big", "emp").is_virtual
+
+    def test_auto_policy_picks_by_selectivity(self):
+        db = make_db("auto")
+        db._rules_suspended = True
+        # emp.sal > 5000 keeps 24/30 = 80% -> virtual;
+        # dept.name = "d1" keeps 1/3 but dept has < 10 rows -> stored
+        db.execute(JOIN_RULE)
+        assert db.network.memory("big", "emp").is_virtual
+        assert not db.network.memory("big", "dept").is_virtual
+
+    def test_virtual_saves_storage(self):
+        stored = make_db("never")
+        stored._rules_suspended = True
+        stored.execute(JOIN_RULE)
+        virtual = make_db("always")
+        virtual._rules_suspended = True
+        virtual.execute(JOIN_RULE)
+        assert stored.network.memory_entry_count("big") > 0
+        assert virtual.network.memory_entry_count("big") == 0
+
+    def test_same_matches_either_way(self):
+        results = []
+        for policy in ("always", "never"):
+            db = make_db(policy)
+            db._rules_suspended = True
+            db.execute(JOIN_RULE)
+            pnode = db.network.pnode("big")
+            results.append(sorted(
+                m.entry("emp").values[0] for m in pnode.matches()))
+        assert results[0] == results[1]
+        assert results[0]       # non-empty: e7, e10, ... with dno 1
+
+    def test_virtual_join_uses_index_when_available(self):
+        db = make_db("always")
+        db.execute("define index empdno on emp (dno) using hash")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        # trigger a token that joins dept -> emp through the virtual node
+        db.execute('append dept(dno=1, name="d1")')
+        memory = db.network.memory("big", "emp")
+        assert isinstance(memory, VirtualAlphaMemory)
+        assert memory.scan_count >= 1
+
+    def test_callable_policy(self):
+        calls = []
+
+        def policy(spec):
+            calls.append(spec.var)
+            return spec.var == "emp"
+
+        db = make_db(policy)
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        assert db.network.memory("big", "emp").is_virtual
+        assert not db.network.memory("big", "dept").is_virtual
+        assert set(calls) == {"emp", "dept"}
+
+
+class TestTokenRouting:
+    def test_tokens_counted(self):
+        db = make_db()
+        before = db.network.tokens_processed
+        db.execute('append emp(name="x", sal=1.0, dno=0)')
+        assert db.network.tokens_processed == before + 1
+
+    def test_replace_generates_two_tokens(self):
+        db = make_db()
+        before = db.network.tokens_processed
+        db.execute('replace emp (sal = 99.0) where emp.name = "e0"')
+        assert db.network.tokens_processed == before + 2   # − then Δ+
+
+    def test_noop_replace_generates_no_tokens(self):
+        db = make_db()
+        db.execute('replace emp (sal = 123.0) where emp.name = "e0"')
+        before = db.network.tokens_processed
+        db.execute('replace emp (sal = 123.0) where emp.name = "e0"')
+        assert db.network.tokens_processed == before
+
+    def test_rules_on_other_relations_not_probed(self):
+        db = make_db()
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        # selection index: dept tokens only probe dept predicates
+        probe = db.manager.network.selection_index.probe
+        assert probe("log", ("x",)) == []
+
+
+class TestDynamicFlush:
+    def test_event_memory_flushed_after_transition(self):
+        db = make_db()
+        db.execute("define rule ev on append emp if emp.sal >= 0 "
+                   "then append to log(emp.name)")
+        db.execute('append emp(name="x", sal=1.0, dno=0)')
+        memory = db.network.memory("ev", "emp")
+        assert len(memory) == 0      # flushed after the cycle
+        assert len(db.network.pnode("ev")) == 0
+
+    def test_pattern_memory_not_flushed(self):
+        db = make_db("never")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        before = db.network.memory_entry_count("big")
+        db.network.flush_dynamic()
+        assert db.network.memory_entry_count("big") == before
+
+
+class TestReteSpecifics:
+    def test_beta_entries_exist(self):
+        db = make_db(network="rete", policy="never")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        assert db.network.beta_entry_count("big") > 0
+
+    def test_beta_cleaned_on_delete(self):
+        db = make_db(network="rete", policy="never")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        before = db.network.beta_entry_count("big")
+        db.execute("delete emp where emp.sal > 5000")
+        assert db.network.beta_entry_count("big") < before
+
+    def test_rete_default_is_stored(self):
+        db = make_db(network="rete", policy="never")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        assert not db.network.memory("big", "emp").is_virtual
+
+    def test_rete_supports_virtual_alphas(self):
+        """The paper: the virtual-memory technique 'could also be used in
+        the Rete algorithm'."""
+        db = make_db(network="rete", policy="always")
+        db._rules_suspended = True
+        db.execute(JOIN_RULE)
+        assert db.network.memory("big", "emp").is_virtual
+        # the β chain is still materialised from the virtual α contents
+        assert db.network.beta_entry_count("big") > 0
+        assert db.network.memory_entry_count("big") == 0
+
+    def test_rete_virtual_matches_stored(self):
+        results = []
+        for policy in ("always", "never"):
+            db = make_db(policy, network="rete")
+            db._rules_suspended = True
+            db.execute(JOIN_RULE)
+            pnode = db.network.pnode("big")
+            results.append(sorted(
+                m.entry("emp").values[0] for m in pnode.matches()))
+        assert results[0] == results[1] and results[0]
