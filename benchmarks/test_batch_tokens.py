@@ -1,0 +1,149 @@
+"""Batched vs per-token propagation on a bulk append.
+
+The set-oriented :meth:`~repro.core.network.DiscriminationNetwork
+.process_tokens` path (paper §4.3's token machinery run over a whole
+transition Δ-set at once) must beat routing the same Δ-set one token at
+a time: the selection index is probed once per distinct anchor value
+instead of once per tuple, the interval stabs and residual predicate
+evaluations are memoized across the batch, and the per-insert call
+chain is amortised.
+
+Workload: a bulk append of ``N_ROWS`` tuples into a relation watched by
+``N_RULES`` single-variable rules, each with an anchored salary interval
+plus a residual age conjunct.  Salaries cycle over a limited distinct
+set while every row carries a unique name — the adversarial shape for
+naive whole-tuple caching, and exactly what the anchor-key probe cache
+and position-projected residual memo are for.
+
+Both the isolated propagation phase and the end-to-end bulk append are
+measured (best of ``REPEATS`` fresh runs each); the acceptance bar is
+≥2× propagation throughput, with P-node contents verified identical.
+"""
+
+import time
+
+from common import emit
+from repro import Database
+
+N_RULES = 64          # ≥50 per the acceptance criteria
+N_ROWS = 10_000       # ≥10k tuples bulk-appended
+DISTINCT_SALARIES = 32
+REPEATS = 3
+MIN_SPEEDUP = 2.0
+
+
+def _rows():
+    return [("bulk%05d" % i, 18 + (i % 12),
+             1000.0 * (i % DISTINCT_SALARIES) + 400.0, 1, 1)
+            for i in range(N_ROWS)]
+
+
+def _prepared_database():
+    db = Database(network="a-treat", batch_tokens=True)
+    db.execute_script("""
+        create emp (name = text, age = int4, sal = float8,
+                    dno = int4, jno = int4)
+        create bench_log (name = text)
+    """)
+    db._rules_suspended = True
+    for i in range(N_RULES):
+        low, high = 1000 * i, 1000 * i + 800
+        db.execute(f"define rule batch_rule_{i} "
+                   f"if {low} < emp.sal and emp.sal <= {high} "
+                   f"and emp.age > 21 "
+                   f"then append to bench_log(name = emp.name)")
+    return db
+
+
+def _pnode_total(db):
+    return sum(len(db.network.pnode(name)) for name in db.network.rules)
+
+
+def _measure_per_token(rows):
+    """Seconds to route the bulk append's Δ-set one token at a time."""
+    db = _prepared_database()
+    db.hooks.insert_many("emp", rows)
+    tokens = db.hooks.take_buffered_tokens()
+    start = time.perf_counter()
+    for token in tokens:
+        db.manager.process_token(token)
+    elapsed = time.perf_counter() - start
+    return elapsed, _pnode_total(db)
+
+
+def _measure_batched(rows):
+    """Seconds to route the same Δ-set as one process_tokens batch."""
+    db = _prepared_database()
+    db.hooks.insert_many("emp", rows)
+    start = time.perf_counter()
+    db.hooks.flush_tokens()
+    elapsed = time.perf_counter() - start
+    assert db.network.batches_processed == 1
+    return elapsed, _pnode_total(db)
+
+
+def _measure_end_to_end(rows, batch):
+    """Seconds for the whole bulk append (heap + Δ-sets + routing)."""
+    db = _prepared_database()
+    start = time.perf_counter()
+    if batch:
+        db.hooks.insert_many("emp", rows)
+        db.hooks.flush_tokens()
+    else:
+        db.hooks.defer_routing = False
+        for values in rows:
+            db.hooks.insert("emp", values)
+    elapsed = time.perf_counter() - start
+    return elapsed, _pnode_total(db)
+
+
+def test_batch_tokens(benchmark):
+    rows = _rows()
+    holder = {}
+
+    def run():
+        per_token = [_measure_per_token(rows) for _ in range(REPEATS)]
+        batched = [_measure_batched(rows) for _ in range(REPEATS)]
+        e2e_loop = [_measure_end_to_end(rows, batch=False)
+                    for _ in range(REPEATS)]
+        e2e_batch = [_measure_end_to_end(rows, batch=True)
+                     for _ in range(REPEATS)]
+        holder["per_token"] = min(t for t, _ in per_token)
+        holder["batched"] = min(t for t, _ in batched)
+        holder["e2e_loop"] = min(t for t, _ in e2e_loop)
+        holder["e2e_batch"] = min(t for t, _ in e2e_batch)
+        totals = {total for _, total in
+                  per_token + batched + e2e_loop + e2e_batch}
+        assert len(totals) == 1, f"P-node contents diverged: {totals}"
+        holder["pnode_total"] = totals.pop()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedup = holder["per_token"] / holder["batched"]
+    e2e_speedup = holder["e2e_loop"] / holder["e2e_batch"]
+    text = "\n".join([
+        "Batched token propagation "
+        f"({N_ROWS} tuples, {N_RULES} rules)",
+        f"propagation  per-token {holder['per_token']:.4f}s | "
+        f"batched {holder['batched']:.4f}s | {speedup:.2f}x",
+        f"end-to-end   per-token {holder['e2e_loop']:.4f}s | "
+        f"batched {holder['e2e_batch']:.4f}s | {e2e_speedup:.2f}x",
+        f"P-node entries either way: {holder['pnode_total']}",
+    ])
+    emit("batch_tokens", text, {
+        "network": "a-treat",
+        "rules": N_RULES,
+        "rows": N_ROWS,
+        "distinct_salaries": DISTINCT_SALARIES,
+        "repeats": REPEATS,
+        "per_token_propagation_s": holder["per_token"],
+        "batched_propagation_s": holder["batched"],
+        "propagation_speedup": speedup,
+        "per_token_end_to_end_s": holder["e2e_loop"],
+        "batched_end_to_end_s": holder["e2e_batch"],
+        "end_to_end_speedup": e2e_speedup,
+        "pnode_total": holder["pnode_total"],
+    })
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched propagation only {speedup:.2f}x faster "
+        f"(need >= {MIN_SPEEDUP}x)")

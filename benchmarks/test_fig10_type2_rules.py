@@ -54,4 +54,5 @@ def test_figure10_table(benchmark):
 
     bench_table_once(benchmark, lambda: figure_table(TYPE), "fig10",
                      "Figure 10: two-tuple-variable rules (seconds)",
-                     check)
+                     check,
+                     meta={"network": "a-treat", "tuple_variables": TYPE})

@@ -57,4 +57,5 @@ def test_figure11_table(benchmark):
 
     bench_table_once(benchmark, lambda: figure_table(TYPE), "fig11",
                      "Figure 11: three-tuple-variable rules (seconds)",
-                     check)
+                     check,
+                     meta={"network": "a-treat", "tuple_variables": TYPE})

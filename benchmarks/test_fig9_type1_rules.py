@@ -62,4 +62,5 @@ def test_figure9_table(benchmark):
 
     bench_table_once(benchmark, lambda: figure_table(TYPE), "fig9",
                      "Figure 9: one-tuple-variable rules (seconds)",
-                     check)
+                     check,
+                     meta={"network": "a-treat", "tuple_variables": TYPE})

@@ -54,14 +54,12 @@ class AttributeType(enum.Enum):
 
     def coerce(self, value: object) -> object:
         """Coerce ``value`` for storage, raising SemanticError on mismatch."""
-        if value is None:
-            return None
-        if not self.accepts(value):
-            raise SemanticError(
-                f"value {value!r} is not valid for type {self.value}")
-        if self is AttributeType.FLOAT:
-            return float(value)
-        return value
+        return _COERCERS[self](value)
+
+    def coercer(self):
+        """The bare coercion callable for this type — what the tuple
+        storage hot path calls, bypassing enum dispatch."""
+        return _COERCERS[self]
 
 
 _TYPE_ALIASES = {
@@ -88,6 +86,42 @@ _PYTHON_TYPES = {
 }
 
 
+def _coerce_int(value):
+    if value is None or (type(value) is int):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    raise SemanticError(f"value {value!r} is not valid for type int4")
+
+
+def _coerce_float(value):
+    if value is None or type(value) is float:
+        return value
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    raise SemanticError(f"value {value!r} is not valid for type float8")
+
+
+def _coerce_text(value):
+    if value is None or isinstance(value, str):
+        return value
+    raise SemanticError(f"value {value!r} is not valid for type text")
+
+
+def _coerce_bool(value):
+    if value is None or isinstance(value, bool):
+        return value
+    raise SemanticError(f"value {value!r} is not valid for type bool")
+
+
+_COERCERS = {
+    AttributeType.INT: _coerce_int,
+    AttributeType.FLOAT: _coerce_float,
+    AttributeType.TEXT: _coerce_text,
+    AttributeType.BOOL: _coerce_bool,
+}
+
+
 @dataclass(frozen=True)
 class Attribute:
     """A named, typed column of a relation."""
@@ -107,7 +141,7 @@ class Schema:
     unique within a schema.
     """
 
-    __slots__ = ("attributes", "_positions")
+    __slots__ = ("attributes", "_positions", "_coercers")
 
     def __init__(self, attributes: list[Attribute] | tuple[Attribute, ...]):
         self.attributes: tuple[Attribute, ...] = tuple(attributes)
@@ -118,6 +152,7 @@ class Schema:
                     f"duplicate attribute name: {attr.name!r}")
             positions[attr.name] = i
         self._positions = positions
+        self._coercers = tuple(a.type.coercer() for a in self.attributes)
 
     @classmethod
     def of(cls, **columns: str) -> "Schema":
@@ -168,10 +203,10 @@ class Schema:
 
     def coerce_values(self, values: tuple) -> tuple:
         """Validate and coerce a value tuple against this schema."""
-        if len(values) != len(self.attributes):
-            raise StorageArityError(len(self.attributes), len(values))
-        return tuple(attr.type.coerce(v)
-                     for attr, v in zip(self.attributes, values))
+        coercers = self._coercers
+        if len(values) != len(coercers):
+            raise StorageArityError(len(coercers), len(values))
+        return tuple(c(v) for c, v in zip(coercers, values))
 
 
 class StorageArityError(CatalogError):

@@ -144,7 +144,17 @@ class AlphaMemory:
     def __init__(self, rule_name: str, spec: VariableSpec):
         self.rule_name = rule_name
         self.spec = spec
+        #: back-references set by the owning network at add_rule time so
+        #: the token hot path skips the by-name lookups
+        self.rule = None
+        self.pnode = None
         self._entries: dict[TupleId, MemoryEntry] = {}
+        # join indexes: attribute position -> {value -> {tid -> entry}}
+        # (inner dicts keep insertion order, matching entries() iteration
+        # semantics for determinism)
+        self._join_indexes: dict[int, dict[object,
+                                           dict[TupleId,
+                                                MemoryEntry]]] = {}
 
     @property
     def kind_name(self) -> str:
@@ -169,11 +179,22 @@ class AlphaMemory:
         if existing == entry:
             return False
         self._entries[entry.tid] = entry
+        if self._join_indexes:
+            for position, buckets in self._join_indexes.items():
+                if existing is not None:
+                    self._unindex(buckets, existing.values[position],
+                                  existing.tid)
+                buckets.setdefault(entry.values[position],
+                                   {})[entry.tid] = entry
         return True
 
     def remove(self, tid: TupleId) -> MemoryEntry | None:
         """Discard the entry for a tuple id, returning it if present."""
-        return self._entries.pop(tid, None)
+        entry = self._entries.pop(tid, None)
+        if entry is not None and self._join_indexes:
+            for position, buckets in self._join_indexes.items():
+                self._unindex(buckets, entry.values[position], tid)
+        return entry
 
     def get(self, tid: TupleId) -> MemoryEntry | None:
         return self._entries.get(tid)
@@ -185,9 +206,48 @@ class AlphaMemory:
         """Empty the memory (dynamic memories, after each transition's
         rule processing)."""
         self._entries.clear()
+        for buckets in self._join_indexes.values():
+            buckets.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # join indexes
+    # ------------------------------------------------------------------
+
+    def ensure_join_index(self, position: int) -> None:
+        """Build (idempotently) a hash join-index on an attribute
+        position the rule's join graph probes with equality.  Maintained
+        by every subsequent insert/remove/flush."""
+        if position in self._join_indexes:
+            return
+        buckets: dict[object, dict[TupleId, MemoryEntry]] = {}
+        for entry in self._entries.values():
+            buckets.setdefault(entry.values[position],
+                               {})[entry.tid] = entry
+        self._join_indexes[position] = buckets
+
+    def has_join_index(self, position: int) -> bool:
+        return position in self._join_indexes
+
+    def join_probe(self, position: int, value) -> Iterator[MemoryEntry]:
+        """Entries whose attribute at ``position`` equals ``value`` —
+        the O(1) bucket lookup replacing the full-memory scan of the
+        TREAT/Rete join step.  Only valid after :meth:`ensure_join_index`
+        for that position."""
+        bucket = self._join_indexes[position].get(value)
+        if not bucket:
+            return iter(())
+        return iter(list(bucket.values()))
+
+    @staticmethod
+    def _unindex(buckets, value, tid: TupleId) -> None:
+        bucket = buckets.get(value)
+        if bucket is not None:
+            bucket.pop(tid, None)
+            if not bucket:
+                del buckets[value]
 
     def __repr__(self) -> str:
         return (f"AlphaMemory({self.rule_name}/{self.spec.var}, "
@@ -211,6 +271,10 @@ class VirtualAlphaMemory:
     def __init__(self, rule_name: str, spec: VariableSpec):
         self.rule_name = rule_name
         self.spec = spec
+        #: back-references set by the owning network at add_rule time so
+        #: the token hot path skips the by-name lookups
+        self.rule = None
+        self.pnode = None
         #: diagnostics: how many base-relation scans this memory answered
         self.scan_count = 0
 
@@ -224,7 +288,10 @@ class VirtualAlphaMemory:
 
         ``equality`` is an optional ``(position, value)`` constraint from
         the join conjunct being evaluated; with an index on that attribute
-        the scan becomes an index probe.
+        the scan becomes an index probe.  Without one, a stored secondary
+        index matching the predicate's anchor attribute narrows the scan
+        to the anchor interval before falling back to the filtered heap
+        scan.
         """
         self.scan_count += 1
         relation = catalog.relation(self.spec.relation)
@@ -246,6 +313,22 @@ class VirtualAlphaMemory:
                         and matches(stored.values, None):
                     yield MemoryEntry(stored.tid, stored.values)
             return
+        anchor = self.spec.analysis.anchor if self.spec.analysis else None
+        if anchor is not None:
+            index = relation.index_on(anchor.attr, "btree")
+            if index is not None:
+                from repro.intervals.interval import NEG_INF, POS_INF
+                interval = anchor.interval
+                low = None if interval.low is NEG_INF else interval.low
+                high = None if interval.high is POS_INF else interval.high
+                tids = index.range_search(
+                    low, high,
+                    low_inclusive=interval.low_closed,
+                    high_inclusive=interval.high_closed)
+                for stored in relation.fetch(tids):
+                    if matches(stored.values, None):
+                        yield MemoryEntry(stored.tid, stored.values)
+                return
         for stored in relation.scan():
             if matches(stored.values, None):
                 yield MemoryEntry(stored.tid, stored.values)

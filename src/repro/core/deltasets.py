@@ -76,6 +76,19 @@ class DeltaSets:
         event = EventSpecifier(EventKind.APPEND)
         return [tok.plus(relation, tid, values, event)]
 
+    def record_insert_many(self, relation: str,
+                           pairs) -> list[Token]:
+        """Bulk variant of :meth:`record_insert` for ``(tid, values)``
+        pairs: same I-set entries and ``+`` tokens, one shared append
+        event specifier."""
+        inserted = self._inserted
+        event = EventSpecifier(EventKind.APPEND)
+        out: list[Token] = []
+        for tid, values in pairs:
+            inserted[tid] = _InsertedEntry(values)
+            out.append(tok.plus(relation, tid, values, event))
+        return out
+
     def record_modify(self, relation: str, tid: TupleId,
                       old_values: tuple, new_values: tuple) -> list[Token]:
         """A tuple was physically overwritten in place."""

@@ -126,6 +126,10 @@ class RuleManager:
     def process_token(self, token: Token) -> None:
         self.network.process_token(token)
 
+    def process_tokens(self, tokens) -> None:
+        """Set-oriented routing of a whole Δ-set batch."""
+        self.network.process_tokens(tokens)
+
     def select_rule(self) -> CompiledRule | None:
         """Conflict resolution: the next rule to fire, if any."""
         return self.agenda.select(self.network.rules, self.network.pnode)

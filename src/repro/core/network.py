@@ -10,6 +10,12 @@ The shared machinery of the TREAT/A-TREAT and Rete networks:
   verify each candidate memory's residual predicate, apply the Figure-5
   :func:`~repro.core.alpha.dispatch` action, and hand insertions to the
   subclass's join step;
+* routing a *batch* of tokens (:meth:`DiscriminationNetwork
+  .process_tokens`): a whole transition Δ-set is propagated with one
+  selection-index probe per distinct (relation, values), memoized
+  residual verification, and — so that virtual α-memories answer joins
+  exactly as the per-token path would — a batch overlay that masks
+  not-yet-propagated heap mutations from base-relation scans;
 * priming at rule activation — "running one one-variable query for each
   tuple variable in the rule condition to prime the α-memory nodes, plus
   running a query equivalent to the entire rule condition to load the
@@ -20,7 +26,7 @@ The shared machinery of the TREAT/A-TREAT and Rete networks:
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.core.alpha import (
@@ -28,7 +34,7 @@ from repro.core.alpha import (
 from repro.core.pnode import Match, PNode
 from repro.core.rules import CompiledRule, VariableSpec
 from repro.core.selection_index import SelectionIndex
-from repro.core.tokens import Token
+from repro.core.tokens import Token, TokenKind
 from repro.errors import RuleError
 from repro.lang.expr import Bindings
 from repro.planner.optimizer import Optimizer
@@ -63,8 +69,14 @@ class DiscriminationNetwork:
                              AlphaMemory | VirtualAlphaMemory] = {}
         self._pnodes: dict[str, PNode] = {}
         self._stamp = 0
+        #: the in-flight batch, or None on the per-token path
+        self._batch: _BatchState | None = None
+        #: virtual α-memories currently in the network (overlay gate)
+        self._virtual_count = 0
         #: diagnostics: tokens processed since construction
         self.tokens_processed = 0
+        #: diagnostics: process_tokens batches routed since construction
+        self.batches_processed = 0
 
     # ------------------------------------------------------------------
     # rule lifecycle
@@ -75,17 +87,40 @@ class DiscriminationNetwork:
         if rule.name in self.rules:
             raise RuleError(f"rule {rule.name!r} already in network")
         self.rules[rule.name] = rule
-        self._pnodes[rule.name] = PNode(rule.name, rule.variables)
+        pnode = self._pnodes[rule.name] = PNode(rule.name, rule.variables)
         for var in rule.variables:
             spec = rule.specs[var]
             memory = self._make_memory(rule, spec)
+            memory.rule = rule
+            memory.pnode = pnode
+            if memory.is_virtual:
+                self._virtual_count += 1
             self._memories[(rule.name, var)] = memory
             self.selection_index.add(spec.relation,
                                      spec.analysis.anchor
                                      if spec.analysis else None,
                                      memory)
+        self._build_join_indexes(rule)
         if prime:
             self.prime_rule(rule)
+
+    def _build_join_indexes(self, rule: CompiledRule) -> None:
+        """Give each stored α-memory a hash join-index on every attribute
+        position the rule's join graph probes with equality, so the join
+        step's candidate lookup is a bucket fetch instead of a
+        full-memory scan.  Built before priming; maintained by the
+        memories themselves afterwards."""
+        for conjunct in rule.joins:
+            equi = conjunct.equijoin
+            if equi is None:
+                continue
+            for var, position in ((equi.left_var, equi.left_position),
+                                  (equi.right_var, equi.right_position)):
+                memory = self._memories.get((rule.name, var))
+                if memory is None or memory.is_virtual \
+                        or memory.spec.is_simple:
+                    continue
+                memory.ensure_join_index(position)
 
     def remove_rule(self, name: str) -> None:
         """Tear down the rule's memories and P-node."""
@@ -94,6 +129,8 @@ class DiscriminationNetwork:
             raise RuleError(f"rule {name!r} not in network")
         for var in rule.variables:
             memory = self._memories.pop((name, var))
+            if memory.is_virtual:
+                self._virtual_count -= 1
             self.selection_index.remove(memory)
         del self._pnodes[name]
 
@@ -171,50 +208,151 @@ class DiscriminationNetwork:
     # ------------------------------------------------------------------
 
     def process_token(self, token: Token) -> None:
-        """Route one token through the network (paper Figure 5)."""
-        self.tokens_processed += 1
-        candidates = self.selection_index.probe(token.relation,
-                                                token.values)
-        # Deterministic processing order defines the sequential
-        # "ProcessedMemories" semantics for self-joins.
-        candidates.sort(key=lambda m: (m.rule_name, m.spec.var))
-        pending: dict[str, set[str]] = {}
-        for memory in candidates:
-            pending.setdefault(memory.rule_name, set()).add(
-                memory.spec.var)
+        """Route one token through the network (paper Figure 5).
+
+        A thin wrapper over the batched path: one token, no caches."""
+        self._process_one(token, None)
+
+    def process_tokens(self, tokens: Sequence[Token]) -> None:
+        """Route a transition Δ-set through the network as one batch.
+
+        Semantically identical to calling :meth:`process_token` on each
+        token in order against the per-token heap states, but
+        set-oriented: the selection index is probed once per distinct
+        (relation, values), residual verification is memoized, and
+        virtual α-memories answer joins through a batch overlay that
+        reconstructs the heap state each token would have seen had its
+        mutation been routed immediately (tuples asserted by later
+        tokens are masked out; tuples they retract or overwrite are
+        restored).
+        """
+        if not isinstance(tokens, (list, tuple)):
+            tokens = list(tokens)
+        if not tokens:
+            return
+        if len(tokens) == 1:
+            self._process_one(tokens[0], None)
+            return
+        self.batches_processed += 1
+        self.tokens_processed += len(tokens)
+        # The overlay only matters to virtual-memory base-relation scans;
+        # skip its per-token bookkeeping when no memory is virtual.
+        track_overlay = self._virtual_count > 0
+        batch = _BatchState(tokens, track_overlay=track_overlay)
+        self._batch = batch
+        process_one = self._process_one
+        try:
+            if track_overlay:
+                advance = batch.advance
+                for token in tokens:
+                    advance(token)
+                    process_one(token, batch)
+            else:
+                for token in tokens:
+                    process_one(token, batch)
+        finally:
+            self._batch = None
+
+    def _process_one(self, token: Token,
+                     batch: _BatchState | None) -> None:
+        if batch is None:
+            self.tokens_processed += 1
+            candidates = self._sorted_probe(token, None)
+        else:
+            # Key on the anchored attribute values only: tuples differing
+            # just in unanchored columns share one probe + sort.
+            positions = self.selection_index.anchor_positions.get(
+                token.relation)
+            if not positions:
+                anchor_vals: tuple = ()
+            elif len(positions) == 1:
+                anchor_vals = (token.values[positions[0]],)
+            else:
+                anchor_vals = tuple(token.values[p] for p in positions)
+            probe_key = (token.relation, anchor_vals)
+            candidates = batch.probe_cache.get(probe_key)
+            if candidates is None:
+                candidates = batch.probe_cache[probe_key] = \
+                    self._sorted_probe(token, batch.stab_cache)
+        # The ProcessedMemories bookkeeping only matters when this token
+        # reaches more than one memory; the common single-candidate case
+        # skips it entirely.
+        if len(candidates) > 1:
+            pending: dict[str, set[str]] | None = {}
+            for memory in candidates:
+                pending.setdefault(memory.rule_name, set()).add(
+                    memory.spec.var)
+        else:
+            pending = None
         deleted_rules: set[str] = set()
+        # A + token means "insert (tid, values)" at every pattern-gated
+        # memory (Figure 5, first column): build that entry once and skip
+        # the dispatch-table walk for this overwhelmingly common case.
+        plus_entry = (MemoryEntry(token.tid, token.values)
+                      if token.kind is TokenKind.PLUS else None)
         for memory in candidates:
-            rule = self.rules[memory.rule_name]
+            rule = memory.rule
             spec = memory.spec
-            op = dispatch(spec, token)
-            if op is None:
+            if pending is None:
+                pending_vars: set[str] | tuple = ()
+            else:
                 pending[rule.name].discard(spec.var)
-                continue
-            if op.op == "delete":
-                pending[rule.name].discard(spec.var)
-                if not memory.is_virtual and not spec.is_simple:
-                    memory.remove(op.tid)
-                if rule.name not in deleted_rules:
-                    deleted_rules.add(rule.name)
-                    self._pnodes[rule.name].delete_by_tid(op.tid)
-                    self._handle_delete(rule, op.tid)
-                continue
+                pending_vars = pending[rule.name]
+            if plus_entry is not None and spec.event is None \
+                    and not spec.is_transition:
+                entry = plus_entry
+            else:
+                op = dispatch(spec, token)
+                if op is None:
+                    continue
+                if op.op == "delete":
+                    if not memory.is_virtual and not spec.is_simple:
+                        memory.remove(op.tid)
+                    if rule.name not in deleted_rules:
+                        deleted_rules.add(rule.name)
+                        memory.pnode.delete_by_tid(op.tid)
+                        self._handle_delete(rule, op.tid)
+                    continue
+                entry = op.entry
             # insertion: verify the residual predicate before accepting
-            entry = op.entry
-            if not spec.residual_matches(entry.values, entry.old_values):
-                pending[rule.name].discard(spec.var)
+            if spec.residual is None:
+                accepted = True
+            elif batch is None or spec.residual_positions is None:
+                accepted = spec.residual_matches(entry.values,
+                                                 entry.old_values)
+            else:
+                # Key the memo on the projection of the values the
+                # residual actually reads, so tuples differing only in
+                # untested columns (unique keys) share one evaluation.
+                # (Key shapes differ by length, so the one-position fast
+                # path cannot collide with the general form.)
+                cur_pos, prev_pos = spec.residual_positions
+                old = entry.old_values
+                if old is None and len(cur_pos) == 1:
+                    residual_key = (id(spec), entry.values[cur_pos[0]])
+                else:
+                    residual_key = (
+                        id(spec),
+                        tuple(entry.values[p] for p in cur_pos),
+                        None if old is None
+                        else tuple(old[p] for p in prev_pos))
+                residual_cache = batch.residual_cache
+                accepted = residual_cache.get(residual_key)
+                if accepted is None:
+                    accepted = residual_cache[residual_key] = \
+                        spec.residual_matches(entry.values, old)
+            if not accepted:
                 continue
-            pending[rule.name].discard(spec.var)
             if spec.is_simple:
                 # Simple memories pass matching data straight to the
                 # P-node (paper section 4.3.3).
                 self._stamp += 1
-                if self._pnodes[rule.name].insert(
-                        Match.of({spec.var: entry}), self._stamp):
+                if memory.pnode.insert(Match(((spec.var, entry),)),
+                                       self._stamp):
                     self.on_match(rule)
                 continue
             self._handle_insert(rule, spec, memory, entry,
-                                pending_vars=pending[rule.name],
+                                pending_vars=pending_vars,
                                 token=token)
 
     def _handle_insert(self, rule: CompiledRule, spec: VariableSpec,
@@ -236,6 +374,62 @@ class DiscriminationNetwork:
         Called once per (rule, token); α-memory and P-node cleanup has
         already happened.
         """
+
+    def _sorted_probe(self, token: Token, stab_cache: dict | None) -> list:
+        candidates = self.selection_index.probe(token.relation,
+                                                token.values, stab_cache)
+        # Deterministic processing order defines the sequential
+        # "ProcessedMemories" semantics for self-joins.
+        candidates.sort(key=_memory_order)
+        return candidates
+
+    def _virtual_entries(self, memory, var: str, partial: dict,
+                         conjuncts, pending_vars, token: Token | None
+                         ) -> Iterable[MemoryEntry]:
+        """A virtual α-memory's conceptual contents for one join step.
+
+        Applies the bound-constant sharpening of paper §4.2, the
+        ProcessedMemories own-tuple exclusion, and — on the batched path —
+        the batch overlay: heap tuples whose state at this point of the
+        token sequence differs from the final heap state are masked, and
+        their in-sequence values re-derived from the pending tokens, so
+        "a virtual α-memory node implicitly contains exactly the same set
+        of tokens as a stored α-memory node" holds mid-batch too.
+        """
+        equality = equality_constraint(var, partial, conjuncts)
+        exclude = (token.tid if token is not None and var in pending_vars
+                   and token.relation == memory.spec.relation else None)
+        batch = self._batch
+        overlay = (batch.overlay_for(memory.spec.relation)
+                   if batch is not None else None)
+        if not overlay:
+            if exclude is None:
+                yield from memory.candidates(self.catalog, equality)
+                return
+            for entry in memory.candidates(self.catalog, equality):
+                if entry.tid != exclude:
+                    yield entry
+            return
+        for entry in memory.candidates(self.catalog, equality):
+            if entry.tid in overlay:
+                continue
+            if exclude is not None and entry.tid == exclude:
+                continue
+            yield entry
+        matches = memory.spec.selection_matches
+        position, value = equality if equality is not None else (None,
+                                                                 None)
+        if equality is not None and value is None:
+            return
+        for tid, values in overlay.items():
+            if values is _ABSENT:
+                continue
+            if exclude is not None and tid == exclude:
+                continue
+            if position is not None and values[position] != value:
+                continue
+            if matches(values, None):
+                yield MemoryEntry(tid, values)
 
     # ------------------------------------------------------------------
     # transition lifecycle
@@ -285,6 +479,90 @@ class DiscriminationNetwork:
     def __repr__(self) -> str:
         return (f"{type(self).__name__}({len(self.rules)} rules, "
                 f"{self.memory_entry_count()} α entries)")
+
+
+def _memory_order(memory) -> tuple[str, str]:
+    return (memory.rule_name, memory.spec.var)
+
+
+#: overlay sentinel: the tuple is absent at this point of the sequence
+_ABSENT = object()
+
+
+class _BatchState:
+    """Per-batch caches plus the heap-state overlay.
+
+    Token streams are a faithful heap diff (``+``/``Δ+`` assert a tuple
+    value, ``−``/``Δ−`` retract one; insertion tokens close each
+    mutation's token group), so replaying token effects reconstructs the
+    exact heap state the per-token path would expose to virtual-memory
+    scans at every join point.  ``overlay`` maps, per relation, the tids
+    whose in-sequence state still differs from the final heap state to
+    that in-sequence state (a values tuple, or :data:`_ABSENT`); a tid
+    drops out once its last token is processed.
+    """
+
+    __slots__ = ("probe_cache", "stab_cache", "residual_cache",
+                 "_remaining", "_overlay")
+
+    def __init__(self, tokens: Sequence[Token], track_overlay: bool = True):
+        self.probe_cache: dict = {}
+        self.stab_cache: dict = {}
+        self.residual_cache: dict = {}
+        if not track_overlay:
+            self._remaining = None
+            self._overlay = None
+            return
+        remaining: dict[tuple, int] = {}
+        overlay: dict[str, dict] = {}
+        for token in tokens:
+            key = (token.relation, token.tid)
+            count = remaining.get(key)
+            if count is None:
+                remaining[key] = 1
+                overlay.setdefault(token.relation, {})[token.tid] = \
+                    _pre_batch_state(token)
+            else:
+                remaining[key] = count + 1
+        self._remaining = remaining
+        self._overlay = overlay
+
+    def advance(self, token: Token) -> None:
+        """Apply one token's heap effect before it is routed."""
+        if self._remaining is None:
+            return
+        key = (token.relation, token.tid)
+        left = self._remaining[key] - 1
+        relation_overlay = self._overlay[token.relation]
+        if left == 0:
+            del self._remaining[key]
+            relation_overlay.pop(token.tid, None)
+        else:
+            self._remaining[key] = left
+            relation_overlay[token.tid] = (
+                token.values if token.kind.is_insertion else _ABSENT)
+
+    def overlay_for(self, relation: str) -> dict | None:
+        if self._overlay is None:
+            return None
+        overlay = self._overlay.get(relation)
+        return overlay if overlay else None
+
+
+def _pre_batch_state(token: Token):
+    """A tuple's heap state just before its first in-batch token.
+
+    ``+`` only ever opens a tid's in-batch history for a fresh insert
+    (case-1 re-assertions always follow their ``−`` within one mutation
+    group); ``−``/``Δ−`` carry the value they retract; a leading ``Δ+``
+    (only possible when an earlier batch already routed the pair's
+    retraction) re-asserts over ``old_values``.
+    """
+    if token.kind is TokenKind.PLUS:
+        return _ABSENT
+    if token.kind is TokenKind.DELTA_PLUS:
+        return token.old_values
+    return token.values
 
 
 class _PrimeContext:

@@ -26,7 +26,10 @@ class Match:
 
     @classmethod
     def of(cls, parts: dict[str, MemoryEntry]) -> "Match":
-        return cls(tuple(sorted(parts.items())))
+        items = list(parts.items())
+        if len(items) > 1:
+            items.sort(key=_first)
+        return cls(tuple(items))
 
     def entry(self, var: str) -> MemoryEntry:
         for name, entry in self.bindings:
@@ -51,6 +54,10 @@ class Match:
         return bound
 
 
+def _first(pair):
+    return pair[0]
+
+
 class PNode:
     """The temporary relation of matches for one rule."""
 
@@ -66,11 +73,17 @@ class PNode:
 
     def insert(self, match: Match, stamp: int = 0) -> bool:
         """Add a match; returns False if an identical binding existed."""
-        key = tuple(entry.tid for _, entry in match.bindings)
-        if key in self._matches and self._matches[key] == match:
+        bindings = match.bindings
+        if len(bindings) == 1:
+            key: tuple = (bindings[0][1].tid,)
+        else:
+            key = tuple(entry.tid for _, entry in bindings)
+        existing = self._matches.get(key)
+        if existing is not None and existing == match:
             return False
         self._matches[key] = match
-        self.last_insert_stamp = max(self.last_insert_stamp, stamp)
+        if stamp > self.last_insert_stamp:
+            self.last_insert_stamp = stamp
         return True
 
     def delete_by_tid(self, tid: TupleId) -> int:
@@ -84,6 +97,17 @@ class PNode:
 
     def matches(self) -> list[Match]:
         return list(self._matches.values())
+
+    def snapshot(self) -> dict:
+        """The current matches, as an opaque value for :meth:`restore`."""
+        return dict(self._matches)
+
+    def restore(self, snap: dict) -> None:
+        """Reset the P-node to a :meth:`snapshot` state (transaction
+        abort: token replay restores α-memories exactly, but cannot know
+        which matches had already been consumed by firings before the
+        transaction began — the snapshot can)."""
+        self._matches = dict(snap)
 
     def take_all(self) -> list[Match]:
         """Consume the whole P-node (set-oriented rule firing)."""

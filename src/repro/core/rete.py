@@ -166,22 +166,27 @@ class ReteNetwork(DiscriminationNetwork):
                        token: Token | None = None):
         """An α-memory's (conceptual) contents for a rightward join step.
 
-        Virtual memories answer from the base relation, sharpened with an
-        equality constant when a bound equi-join conjunct allows, and —
-        the ProcessedMemories protocol — excluding the in-flight token's
-        own tuple when this memory has not yet processed it.
+        Stored memories answer from a hash join-index bucket when a bound
+        equi-join conjunct allows.  Virtual memories answer from the base
+        relation, sharpened with an equality constant, under the
+        ProcessedMemories own-tuple exclusion and (on the batched path)
+        the batch overlay — all via the shared base-class helper.
         """
+        var = memory.spec.var
         if not memory.is_virtual:
+            equality = equality_constraint(var, partial, conjuncts)
+            if equality is not None:
+                position, value = equality
+                if memory.has_join_index(position):
+                    # Null never satisfies an equi-join conjunct, and any
+                    # entry outside the bucket would fail it anyway.
+                    if value is not None:
+                        yield from memory.join_probe(position, value)
+                    return
             yield from memory.entries()
             return
-        var = memory.spec.var
-        equality = equality_constraint(var, partial, conjuncts)
-        exclude = (token.tid if token is not None and var in pending_vars
-                   and token.relation == memory.spec.relation else None)
-        for entry in memory.candidates(self.catalog, equality):
-            if exclude is not None and entry.tid == exclude:
-                continue
-            yield entry
+        yield from self._virtual_entries(memory, var, partial, conjuncts,
+                                         pending_vars, token)
 
     def _handle_delete(self, rule: CompiledRule, tid: TupleId) -> None:
         state = self._states.get(rule.name)

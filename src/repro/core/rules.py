@@ -19,7 +19,8 @@ from repro.catalog.catalog import Catalog
 from repro.errors import RuleError, SemanticError
 from repro.lang import ast_nodes as ast
 from repro.lang.expr import (
-    Bindings, compile_expr, previous_variables_of, variables_of)
+    Bindings, attr_positions_of, compile_expr, previous_variables_of,
+    variables_of)
 from repro.lang.predicates import (
     SelectionAnalysis, analyze_selection, build_condition_graph, conjoin,
     equijoin_of_conjunct)
@@ -57,6 +58,11 @@ class VariableSpec:
     analysis: SelectionAnalysis | None = None
     #: compiled residual predicate (anchor excluded); None = always true
     residual: Callable[[Bindings], object] | None = None
+    #: (current, previous) value positions the residual reads — the key
+    #: projection for batch-level residual memoization; None when the
+    #: residual exists but is not projectable (new()/aggregate/whole-tuple)
+    residual_positions: tuple[tuple[int, ...], tuple[int, ...]] | None \
+        = None
     #: compiled full selection predicate; None = always true
     full_selection: Callable[[Bindings], object] | None = None
 
@@ -174,6 +180,9 @@ class CompiledRule:
                 analysis=analysis,
                 residual=(compile_expr(analysis.residual)
                           if analysis.residual is not None else None),
+                residual_positions=(
+                    attr_positions_of(analysis.residual, var)
+                    if analysis.residual is not None else None),
                 full_selection=(compile_expr(full)
                                 if full is not None else None),
             )

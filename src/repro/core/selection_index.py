@@ -9,6 +9,18 @@ conjunct go on a per-relation residual list.  Probing with a tuple's
 values returns every memory whose anchor the tuple satisfies, and the
 caller then verifies each candidate's residual predicate.
 
+Dispatch is two-level: a ``relation -> {attribute -> interval index}``
+map, so a probe touches only the indexes of the token's own relation
+(never scanning the system-wide index list), and the common
+one-attribute-per-relation case runs with no dedup bookkeeping at all —
+a target is registered under exactly one anchor, so a single stab can
+never produce duplicates.
+
+:meth:`SelectionIndex.probe_many` is the batch entry point used by the
+network's set-oriented token propagation: it groups probes by relation,
+dedupes repeated ``(relation, values)`` probes, and memoizes individual
+attribute-value stabs within the batch.
+
 The interval index defaults to the interval skip list; the IBS tree or
 the naive :class:`LinearIntervalIndex` can be substituted (the
 ``ablate-isl`` and ``scale`` benchmarks do exactly that).
@@ -51,15 +63,27 @@ class LinearIntervalIndex:
         return len(self._intervals)
 
 
+class _AttrIndex:
+    """One relation attribute's interval index plus its tuple position."""
+
+    __slots__ = ("index", "position")
+
+    def __init__(self, index, position: int):
+        self.index = index
+        self.position = position
+
+
 class SelectionIndex:
     """Routes tuple values to the α-memories whose anchors they satisfy."""
 
     def __init__(self, index_factory: Callable[[], object] | None = None):
         self._factory = index_factory or IntervalSkipList
-        # (relation, attribute) -> interval index of anchored targets
-        self._indexes: dict[tuple[str, str], object] = {}
-        # (relation, attribute) -> attribute position
-        self._positions: dict[tuple[str, str], int] = {}
+        # relation -> {attribute -> _AttrIndex}
+        self._relations: dict[str, dict[str, _AttrIndex]] = {}
+        #: relation -> anchored tuple positions.  Read-only for callers;
+        #: the batched token path reads it directly to build anchor keys
+        #: without a method call per token.
+        self.anchor_positions: dict[str, tuple[int, ...]] = {}
         # relation -> unanchored targets (always candidates)
         self._unanchored: dict[str, list] = {}
         # target -> how it was registered, for removal
@@ -78,17 +102,18 @@ class SelectionIndex:
             self._unanchored.setdefault(relation, []).append(target)
             self._registered[key] = (relation, None, None, target)
             return
-        index_key = (relation, anchor.attr)
-        index = self._indexes.get(index_key)
-        if index is None:
-            index = self._factory()
-            self._indexes[index_key] = index
-            self._positions[index_key] = anchor.position
+        attr_indexes = self._relations.setdefault(relation, {})
+        slot = attr_indexes.get(anchor.attr)
+        if slot is None:
+            slot = _AttrIndex(self._factory(), anchor.position)
+            attr_indexes[anchor.attr] = slot
+            self.anchor_positions[relation] = tuple(
+                s.position for s in attr_indexes.values())
         interval = Interval(anchor.interval.low, anchor.interval.high,
                             anchor.interval.low_closed,
                             anchor.interval.high_closed,
                             payload=_TargetRef(target))
-        index.insert(interval)
+        slot.index.insert(interval)
         self._registered[key] = (relation, anchor.attr, interval, target)
 
     def remove(self, target) -> None:
@@ -102,35 +127,93 @@ class SelectionIndex:
         if attr is None:
             self._unanchored[relation].remove(kept)
             return
-        self._indexes[(relation, attr)].remove(interval)
+        self._relations[relation][attr].index.remove(interval)
 
-    def probe(self, relation: str, values: tuple) -> list:
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def probe(self, relation: str, values: tuple,
+              stab_cache: dict | None = None) -> list:
         """Every registered target whose anchor accepts ``values``, plus
         the relation's unanchored targets.  Null attribute values never
-        satisfy an anchor (SQL comparison semantics)."""
+        satisfy an anchor (SQL comparison semantics).
+
+        ``stab_cache`` (a plain dict owned by the caller) memoizes
+        attribute-value stabs across probes of one batch — tuples that
+        repeat an attribute value skip the interval-index walk entirely.
+        """
+        return self._probe(relation, values, stab_cache)
+
+    def anchor_key(self, relation: str, values: tuple) -> tuple:
+        """The projection of ``values`` onto the relation's anchored
+        attribute positions — everything a probe's result can depend on.
+        Two tuples with equal anchor keys get identical candidate lists,
+        which is what makes batch-level probe caching effective even when
+        every tuple carries a unique key column.
+        """
+        positions = self.anchor_positions.get(relation)
+        if not positions:
+            return ()
+        if len(positions) == 1:
+            return (values[positions[0]],)
+        return tuple(values[p] for p in positions)
+
+    def probe_many(self, items: Iterable[tuple[str, tuple]]) -> list[list]:
+        """Probe a batch of ``(relation, values)`` pairs.
+
+        Returns one candidate list per item, in order.  Repeated probes
+        are answered from a batch-local cache, and individual attribute
+        stabs are memoized across probes that share a value — the
+        amortisation the set-oriented token path relies on.  Callers must
+        not mutate the returned lists (repeats share them).
+        """
+        probe_cache: dict[tuple[str, tuple], list] = {}
+        stab_cache: dict[tuple[int, object], list] = {}
+        out: list[list] = []
+        for relation, values in items:
+            key = (relation, self.anchor_key(relation, values))
+            got = probe_cache.get(key)
+            if got is None:
+                got = probe_cache[key] = self._probe(relation, values,
+                                                     stab_cache)
+            out.append(got)
+        return out
+
+    def _probe(self, relation: str, values: tuple,
+               stab_cache: dict | None) -> list:
+        attr_indexes = self._relations.get(relation)
+        unanchored = self._unanchored.get(relation)
+        if not attr_indexes:
+            return list(unanchored) if unanchored else []
+        # A target is registered under exactly one anchor, so stabs of
+        # distinct attribute indexes can never yield the same target and
+        # no dedup set is needed.
         out: list = []
-        seen: set[int] = set()
-        for (index_relation, attr), index in self._indexes.items():
-            if index_relation != relation:
-                continue
-            value = values[self._positions[(index_relation, attr)]]
+        for slot in attr_indexes.values():
+            value = values[slot.position]
             if value is None:
                 continue
-            for ref in index.stab_payloads(value):
-                target = ref.target
-                if id(target) not in seen:
-                    seen.add(id(target))
-                    out.append(target)
-        for target in self._unanchored.get(relation, ()):
-            if id(target) not in seen:
-                seen.add(id(target))
-                out.append(target)
+            if stab_cache is None:
+                refs = slot.index.stab_payloads(value)
+            else:
+                cache_key = (id(slot.index), value)
+                refs = stab_cache.get(cache_key)
+                if refs is None:
+                    refs = stab_cache[cache_key] = \
+                        slot.index.stab_payloads(value)
+            for ref in refs:
+                out.append(ref.target)
+        if unanchored:
+            out.extend(unanchored)
         return out
 
     # ------------------------------------------------------------------
 
     def anchored_count(self) -> int:
-        return sum(len(index) for index in self._indexes.values())
+        return sum(len(slot.index)
+                   for attr_indexes in self._relations.values()
+                   for slot in attr_indexes.values())
 
     def unanchored_count(self) -> int:
         return sum(len(v) for v in self._unanchored.values())

@@ -35,12 +35,12 @@ class TokenKind(enum.Enum):
 
     @property
     def is_delta(self) -> bool:
-        return self in (TokenKind.DELTA_PLUS, TokenKind.DELTA_MINUS)
+        return self is TokenKind.DELTA_PLUS or self is TokenKind.DELTA_MINUS
 
     @property
     def is_insertion(self) -> bool:
         """True for the kinds that add data (+ and Δ+)."""
-        return self in (TokenKind.PLUS, TokenKind.DELTA_PLUS)
+        return self is TokenKind.PLUS or self is TokenKind.DELTA_PLUS
 
 
 @dataclass(frozen=True)
@@ -79,11 +79,15 @@ class Token:
     event: EventSpecifier | None = None
 
     def __post_init__(self):
-        if self.kind.is_delta and self.old_values is None:
-            raise ValueError(f"{self.kind.value} token needs old_values")
-        if not self.kind.is_delta and self.old_values is not None:
+        kind = self.kind
+        delta = (kind is TokenKind.DELTA_PLUS
+                 or kind is TokenKind.DELTA_MINUS)
+        if delta:
+            if self.old_values is None:
+                raise ValueError(f"{kind.value} token needs old_values")
+        elif self.old_values is not None:
             raise ValueError(
-                f"{self.kind.value} token must not carry old_values")
+                f"{kind.value} token must not carry old_values")
 
     def __str__(self) -> str:
         event = f" on {self.event}" if self.event else ""

@@ -98,15 +98,19 @@ class TreatNetwork(DiscriminationNetwork):
                     conjuncts: list[JoinConjunct],
                     pending_vars: set[str], token: Token):
         if not memory.is_virtual:
+            equality = equality_constraint(var, partial, conjuncts)
+            if equality is not None:
+                position, value = equality
+                if memory.has_join_index(position):
+                    # Null never satisfies an equi-join conjunct, and any
+                    # entry outside the bucket would fail it anyway.
+                    if value is not None:
+                        yield from memory.join_probe(position, value)
+                    return
             yield from memory.entries()
             return
-        equality = equality_constraint(var, partial, conjuncts)
-        exclude = (token.tid if token is not None and var in pending_vars
-                   and token.relation == memory.spec.relation else None)
-        for entry in memory.candidates(self.catalog, equality):
-            if exclude is not None and entry.tid == exclude:
-                continue
-            yield entry
+        yield from self._virtual_entries(memory, var, partial, conjuncts,
+                                         pending_vars, token)
 
     # ------------------------------------------------------------------
 

@@ -86,13 +86,19 @@ class Database:
         default *always reoptimize*.
     selection_index:
         Override the top-level predicate index (for ablations).
+    batch_tokens:
+        Defer token routing to transition boundaries and propagate each
+        transition's whole Δ-set through the network as one batch
+        (observationally identical to per-mutation routing; the batched
+        path amortises selection-index probes and residual checks).
     """
 
     def __init__(self, network: str = "a-treat",
                  virtual_policy=None,
                  max_firings: int = 1000,
                  cache_action_plans: bool = False,
-                 selection_index: SelectionIndex | None = None):
+                 selection_index: SelectionIndex | None = None,
+                 batch_tokens: bool = False):
         try:
             network_cls, default_policy = _NETWORKS[network.lower()]
         except KeyError:
@@ -108,7 +114,10 @@ class Database:
         self.deltasets = DeltaSets()
         self.undo = UndoLog()
         self.hooks = TransitionHooks(self.catalog, self.deltasets,
-                                     self.manager.process_token, self.undo)
+                                     self.manager.process_token, self.undo,
+                                     route_tokens=self.manager
+                                     .process_tokens,
+                                     defer_routing=batch_tokens)
         self.context = ExecutionContext(self.catalog, self.hooks)
         self.executor = Executor(self.context, self.optimizer)
         self.action_planner = ActionPlanner(self.catalog, self.optimizer,
@@ -126,6 +135,7 @@ class Database:
         self._cycle_running = False
         self._rules_suspended = False
         self._in_transaction = False
+        self._pnode_snapshots = None
 
     # ------------------------------------------------------------------
     # command execution
@@ -167,6 +177,15 @@ class Database:
         if self._in_transaction:
             raise TransactionError("transaction already open")
         self._in_transaction = True
+        # Undo-replay restores α-memories exactly, but P-nodes are not
+        # symmetric under it: a match consumed by a pre-transaction
+        # firing is gone from the P-node, so a delete inside the
+        # transaction removes nothing there — yet the abort's restore
+        # would re-insert it.  Snapshot P-node contents now and put them
+        # back verbatim on abort.
+        self._pnode_snapshots = {
+            name: self.network.pnode(name).snapshot()
+            for name in self.network.rules}
         self.undo.begin()
 
     def commit(self) -> None:
@@ -174,6 +193,7 @@ class Database:
         if not self._in_transaction:
             raise TransactionError("no open transaction")
         self._in_transaction = False
+        self._pnode_snapshots = None
         self.undo.commit()
 
     def abort(self) -> None:
@@ -197,9 +217,16 @@ class Database:
                 else:
                     self.hooks.replace(record.relation, record.tid,
                                        record.before)
+            self.hooks.flush_tokens()
             self.deltasets.clear()
             self.manager.end_of_rule_processing()
             self.manager.agenda.clear()
+            # Rules defined during the transaction (not transactional,
+            # hence absent from the snapshot) keep their replayed state.
+            for name, snap in self._pnode_snapshots.items():
+                if name in self.network.rules:
+                    self.network.pnode(name).restore(snap)
+            self._pnode_snapshots = None
         finally:
             self._rules_suspended = False
 
@@ -261,9 +288,21 @@ class Database:
         for command in commands:
             planned = self.optimizer.plan_command(command)
             result = self.executor.run(planned)
+        self.hooks.flush_tokens()
         self.deltasets.clear()
         self._run_rule_cycle()
         return result
+
+    def bulk_append(self, relation: str, rows) -> int:
+        """Append many tuples as one transition, propagating the whole
+        Δ-set through the discrimination network as a single batch (the
+        set-oriented fast path; values are coerced like ``append``).
+        Returns the number of tuples inserted."""
+        tids = self.hooks.insert_many(relation, rows)
+        self.hooks.flush_tokens()
+        self.deltasets.clear()
+        self._run_rule_cycle()
+        return len(tids)
 
     def _run_rule_cycle(self) -> None:
         """The recognize-act cycle of paper Figure 1."""
@@ -307,6 +346,7 @@ class Database:
                 self.manager.halt()
                 break
             self.executor.run(action.planned)
+        self.hooks.flush_tokens()
         self.deltasets.clear()
 
     # ------------------------------------------------------------------

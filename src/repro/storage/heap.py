@@ -45,6 +45,33 @@ class HeapRelation:
             index.insert(index.key_of(values), tid)
         return tid
 
+    def insert_many(self, rows) -> list[tuple[TupleId, tuple]]:
+        """Bulk append: per-row semantics identical to :meth:`insert`
+        (coercion, index maintenance, fresh TIDs) with the loop
+        invariants hoisted; returns ``(tid, stored values)`` pairs so
+        callers need no follow-up fetch.
+
+        All-or-nothing: every row is coerced before any is applied, so
+        one bad row mid-batch cannot leave earlier rows in the heap
+        with their tokens never routed.
+        """
+        coerce = self.schema.coerce_values
+        coerced = [coerce(tuple(values)) for values in rows]
+        slots = self._slots
+        indexes = list(self._indexes.values())
+        name = self.name
+        out: list[tuple[TupleId, tuple]] = []
+        next_slot = self._next_slot
+        for values in coerced:
+            tid = TupleId(name, next_slot)
+            next_slot += 1
+            slots[tid.slot] = values
+            for index in indexes:
+                index.insert(index.key_of(values), tid)
+            out.append((tid, values))
+        self._next_slot = next_slot
+        return out
+
     def delete(self, tid: TupleId) -> tuple:
         """Remove the tuple named by ``tid``; returns its last values."""
         values = self._require(tid)

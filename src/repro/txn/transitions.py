@@ -7,11 +7,20 @@ classify it into the paper's logical-event cases and emit tokens, and
 (4) routes those tokens through the discrimination network — all before
 control returns to the executor.  This is the tight coupling of rule
 condition testing with query and update processing the paper emphasises.
+
+Token routing is set-oriented: each mutation's token group is handed to
+the network's batched :meth:`~repro.core.network.DiscriminationNetwork
+.process_tokens` entry point, and with ``defer_routing`` enabled the
+groups of a whole transition accumulate and flush as one batch at the
+transition boundary (``Database(batch_tokens=True)``), which is where
+the per-relation probe dispatch and batch memoization pay off.
+:meth:`TransitionHooks.insert_many` is the bulk-append fast path: it
+applies every heap insert first and routes the combined Δ-set once.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Iterable, Sequence
 
 from repro.catalog.catalog import Catalog
 from repro.core.deltasets import DeltaSets
@@ -26,13 +35,22 @@ class TransitionHooks(MutationHooks):
 
     def __init__(self, catalog: Catalog, deltasets: DeltaSets,
                  route_token: Callable[[Token], None],
-                 undo: UndoLog | None = None):
+                 undo: UndoLog | None = None,
+                 route_tokens: Callable[[Sequence[Token]], None]
+                 | None = None,
+                 defer_routing: bool = False):
         self.catalog = catalog
         self.deltasets = deltasets
         self.route_token = route_token
+        self.route_tokens = route_tokens
         # "undo or UndoLog()" would discard a passed-in empty log, since
         # UndoLog defines __len__ and an empty log is falsy.
         self.undo = undo if undo is not None else UndoLog()
+        #: buffer whole-transition Δ-sets and route them as one batch at
+        #: :meth:`flush_tokens` time (the transaction layer calls it at
+        #: every transition boundary) instead of per mutation
+        self.defer_routing = defer_routing
+        self._buffer: list[Token] = []
         #: diagnostics: tokens generated since construction
         self.tokens_generated = 0
 
@@ -44,6 +62,20 @@ class TransitionHooks(MutationHooks):
         self._route(self.deltasets.record_insert(relation_name, tid,
                                                  stored))
         return tid
+
+    def insert_many(self, relation_name: str,
+                    rows: Iterable[tuple]) -> list[TupleId]:
+        """Bulk append: apply every heap insert, then route the whole
+        Δ-set through the network as a single batch."""
+        relation = self.catalog.relation(relation_name)
+        pairs = relation.insert_many(rows)
+        if self.undo.enabled:
+            record_undo = self.undo.record_insert
+            for tid, stored in pairs:
+                record_undo(relation_name, tid, stored)
+        self._route(self.deltasets.record_insert_many(relation_name,
+                                                      pairs))
+        return [tid for tid, _ in pairs]
 
     def delete(self, relation_name: str, tid: TupleId) -> tuple:
         relation = self.catalog.relation(relation_name)
@@ -79,7 +111,40 @@ class TransitionHooks(MutationHooks):
         self._route(self.deltasets.record_insert(relation_name, tid,
                                                  values))
 
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def flush_tokens(self) -> None:
+        """Route any deferred tokens (a no-op unless ``defer_routing``).
+
+        Must run before anything reads the network — the transaction
+        layer calls it at every transition boundary, ahead of the
+        recognize-act cycle.
+        """
+        if self._buffer:
+            buffered, self._buffer = self._buffer, []
+            self._dispatch(buffered)
+
+    def take_buffered_tokens(self) -> list[Token]:
+        """Detach and return the deferred-token buffer without routing
+        it (benchmark/diagnostic hook: lets a caller replay a captured
+        Δ-set through an alternative propagation path)."""
+        buffered, self._buffer = self._buffer, []
+        return buffered
+
     def _route(self, tokens: list[Token]) -> None:
+        if not tokens:
+            return
+        self.tokens_generated += len(tokens)
+        if self.defer_routing:
+            self._buffer.extend(tokens)
+            return
+        self._dispatch(tokens)
+
+    def _dispatch(self, tokens: list[Token]) -> None:
+        if self.route_tokens is not None:
+            self.route_tokens(tokens)
+            return
         for token in tokens:
-            self.tokens_generated += 1
             self.route_token(token)

@@ -7,7 +7,7 @@ alone.  Behavioral equality is checked by applying a common probe
 workload to both databases afterwards and comparing everything again
 (DESIGN.md invariant 6, extended to the rule system)."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro import Database
 
@@ -39,6 +39,14 @@ def state_of(db):
        st.lists(_op, min_size=1, max_size=8),
        st.lists(_op, min_size=1, max_size=5),
        st.sets(st.integers(0, len(RULES) - 1), min_size=1, max_size=3))
+# Regression: deleting (in the transaction) a tuple whose match a firing
+# consumed *before* the transaction, then aborting, must not resurrect
+# the consumed match — the probe's transient a=6 would fire it again.
+@example(prefix=[("insert", "t", 0), ("insert", "t", 0),
+                 ("insert", "t", 0), ("insert", "t", 6)],
+         suffix=[("delete", "t", 28)],
+         probe=[("block", 6, 0)],
+         rule_indexes={0})
 def test_abort_is_a_noop(prefix, suffix, probe, rule_indexes):
     rules = [RULES[i] for i in sorted(rule_indexes)]
     aborted = build(rules)
