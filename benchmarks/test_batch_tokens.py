@@ -16,20 +16,21 @@ naive whole-tuple caching, and exactly what the anchor-key probe cache
 and position-projected residual memo are for.
 
 Both the isolated propagation phase and the end-to-end bulk append are
-measured (best of ``REPEATS`` fresh runs each); the acceptance bar is
-≥2× propagation throughput, with P-node contents verified identical.
+measured (median of ``REPEATS`` fresh runs each — see the perf-gate
+policy in ``common.py``); the acceptance bar is ≥2× propagation
+throughput (relaxed under CI), with P-node contents verified identical.
 """
 
 import time
 
-from common import emit
+from common import emit, median_time, speedup_bar
 from repro import Database
 
 N_RULES = 64          # ≥50 per the acceptance criteria
 N_ROWS = 10_000       # ≥10k tuples bulk-appended
 DISTINCT_SALARIES = 32
 REPEATS = 3
-MIN_SPEEDUP = 2.0
+MIN_SPEEDUP = speedup_bar(2.0)
 
 
 def _rows():
@@ -108,10 +109,10 @@ def test_batch_tokens(benchmark):
                     for _ in range(REPEATS)]
         e2e_batch = [_measure_end_to_end(rows, batch=True)
                      for _ in range(REPEATS)]
-        holder["per_token"] = min(t for t, _ in per_token)
-        holder["batched"] = min(t for t, _ in batched)
-        holder["e2e_loop"] = min(t for t, _ in e2e_loop)
-        holder["e2e_batch"] = min(t for t, _ in e2e_batch)
+        holder["per_token"] = median_time([t for t, _ in per_token])
+        holder["batched"] = median_time([t for t, _ in batched])
+        holder["e2e_loop"] = median_time([t for t, _ in e2e_loop])
+        holder["e2e_batch"] = median_time([t for t, _ in e2e_batch])
         totals = {total for _, total in
                   per_token + batched + e2e_loop + e2e_batch}
         assert len(totals) == 1, f"P-node contents diverged: {totals}"

@@ -1,0 +1,200 @@
+"""Prepared statements vs ad-hoc text on an OLTP workload.
+
+The prepared-statement path pays parse → analyze → plan once per
+statement shape and then executes the cached plan with a per-call
+parameter vector; the ad-hoc path re-runs the whole pipeline for every
+command text.  Workload: ``N_OPS`` operations against an ``account``
+relation with a hash index on ``id`` and ``N_RULES`` active
+balance-interval rules — alternating parameterized appends and indexed
+point retrieves, the classic OLTP shape.  The ad-hoc side runs with the
+transparent statement cache disabled (every command text is unique
+anyway, so the cache could only add overhead): it is exactly the
+pre-existing pipeline.
+
+Both sides produce identical query results, final table contents and
+rule firings (asserted).  Timing is the median of ``REPEATS`` fresh
+runs per side (perf-gate policy in ``common.py``); the acceptance bar
+is ≥3× throughput (relaxed under CI).
+
+A second micro-measurement isolates the per-row binding-reuse
+optimization (``Bindings.rebind`` mutating one environment in place
+instead of copying three dicts per scanned row): the same scan plan is
+driven with ``reuse`` off and on.
+"""
+
+import time
+
+from common import emit, median_time, speedup_bar
+from repro import Database
+from repro.lang.expr import Bindings
+from repro.lang.parser import parse_command
+
+N_OPS = 10_000            # total operations (half appends, half reads)
+N_ACCOUNTS = 2_000        # pre-loaded rows
+N_RULES = 10              # active balance-interval rules
+REPEATS = 3
+MIN_SPEEDUP = speedup_bar(3.0)
+
+APPEND = 'append account(id = $id, owner = $owner, balance = $balance)'
+RETRIEVE = ('retrieve (account.owner, account.balance) '
+            'where account.id = $id')
+
+
+def _make_database(statement_cache: bool) -> Database:
+    db = Database(statement_cache_size=128 if statement_cache else 0)
+    db.execute_script("""
+        create account (id = int4, owner = text, balance = float8)
+        create audit_log (id = int4, balance = float8)
+    """)
+    db.execute('define index account_id on account (id) using hash')
+    for i in range(N_RULES):
+        # sparse intervals: only balances near 100*i + 50 match
+        low, high = 100.0 * i + 50.0, 100.0 * i + 51.0
+        db.execute(f'define rule audit_{i} '
+                   f'if {low} <= account.balance '
+                   f'and account.balance < {high} '
+                   f'then append to audit_log(id = account.id, '
+                   f'balance = account.balance)')
+    rows = [(i, "owner%05d" % i, float(i % 997)) for i in range(N_ACCOUNTS)]
+    db.bulk_append("account", rows)
+    return db
+
+
+def _ops():
+    """The operation stream: (kind, id, owner, balance) tuples."""
+    out = []
+    for i in range(N_OPS // 2):
+        new_id = N_ACCOUNTS + i
+        out.append(("append", new_id, "new%05d" % i, float(i % 997)))
+        out.append(("read", (new_id * 7919) % (N_ACCOUNTS + i + 1),
+                    None, None))
+    return out
+
+
+def _state(db: Database):
+    """Everything that must match between the two sides."""
+    return (sorted(db.relation_rows("account")),
+            sorted(db.relation_rows("audit_log")),
+            db.firings)
+
+
+def _run_adhoc(ops):
+    """Every operation as freshly formatted command text."""
+    db = _make_database(statement_cache=False)
+    reads = []
+    start = time.perf_counter()
+    for kind, ident, owner, balance in ops:
+        if kind == "append":
+            db.execute(f'append account(id = {ident}, '
+                       f'owner = "{owner}", balance = {balance})')
+        else:
+            reads.append(db.execute(
+                f'retrieve (account.owner, account.balance) '
+                f'where account.id = {ident}').rows)
+    elapsed = time.perf_counter() - start
+    return elapsed, reads, _state(db)
+
+
+def _run_prepared(ops):
+    """The same operations through two prepared statements."""
+    db = _make_database(statement_cache=False)
+    append = db.prepare(APPEND)
+    retrieve = db.prepare(RETRIEVE)
+    reads = []
+    start = time.perf_counter()
+    for kind, ident, owner, balance in ops:
+        if kind == "append":
+            append.execute(id=ident, owner=owner, balance=balance)
+        else:
+            reads.append(retrieve.execute(id=ident).rows)
+    elapsed = time.perf_counter() - start
+    return elapsed, reads, _state(db), (append.replans, retrieve.replans)
+
+
+def _measure_binding_reuse():
+    """Seconds to drive one seq-scan plan over the account table with
+    per-row copies vs in-place rebinding, median of REPEATS."""
+    db = _make_database(statement_cache=False)
+    planned = db.optimizer.plan_command(db.analyzer.analyze(
+        parse_command(
+            'retrieve (account.owner) where account.balance >= 0')))
+
+    def drive(reuse):
+        start = time.perf_counter()
+        count = 0
+        for _ in planned.plan.rows(db.context, Bindings(), reuse):
+            count += 1
+        return time.perf_counter() - start, count
+
+    copies, counts_a, reuses, counts_b = [], set(), [], set()
+    for _ in range(REPEATS):
+        t, n = drive(False)
+        copies.append(t)
+        counts_a.add(n)
+        t, n = drive(True)
+        reuses.append(t)
+        counts_b.add(n)
+    assert counts_a == counts_b, "reuse changed the row count"
+    return median_time(copies), median_time(reuses)
+
+
+def test_prepared(benchmark):
+    ops = _ops()
+    holder = {}
+
+    def run():
+        adhoc_runs = [_run_adhoc(ops) for _ in range(REPEATS)]
+        prepared_runs = [_run_prepared(ops) for _ in range(REPEATS)]
+        # correctness first: identical reads, contents and firings
+        reference_reads = adhoc_runs[0][1]
+        reference_state = adhoc_runs[0][2]
+        for elapsed, reads, state in adhoc_runs:
+            assert reads == reference_reads
+            assert state[:2] == reference_state[:2]
+        for elapsed, reads, state, replans in prepared_runs:
+            assert reads == reference_reads, "prepared reads diverged"
+            assert state[:2] == reference_state[:2], \
+                "prepared final state diverged"
+            assert replans == (1, 1), f"unexpected replans: {replans}"
+        # ad-hoc firings accumulate per run in fresh dbs; compare per-run
+        assert ({s[2] for *_, s in adhoc_runs}
+                == {s[2] for *_, s, _ in prepared_runs}), \
+            "rule firing counts diverged"
+        holder["adhoc"] = median_time([t for t, *_ in adhoc_runs])
+        holder["prepared"] = median_time([t for t, *_ in prepared_runs])
+        holder["bind_copy"], holder["bind_reuse"] = \
+            _measure_binding_reuse()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    speedup = holder["adhoc"] / holder["prepared"]
+    reuse_speedup = holder["bind_copy"] / holder["bind_reuse"]
+    ops_s = N_OPS / holder["prepared"]
+    text = "\n".join([
+        f"Prepared statements ({N_OPS} ops: parameterized appends + "
+        f"indexed retrieves, {N_RULES} active rules)",
+        f"ad-hoc   {holder['adhoc']:.4f}s | "
+        f"{N_OPS / holder['adhoc']:.0f} ops/s",
+        f"prepared {holder['prepared']:.4f}s | {ops_s:.0f} ops/s | "
+        f"{speedup:.2f}x",
+        f"binding reuse: copy {holder['bind_copy'] * 1000:.3f}ms | "
+        f"rebind {holder['bind_reuse'] * 1000:.3f}ms | "
+        f"{reuse_speedup:.2f}x per scan",
+    ])
+    emit("prepared", text, {
+        "ops": N_OPS,
+        "accounts": N_ACCOUNTS,
+        "rules": N_RULES,
+        "repeats": REPEATS,
+        "adhoc_s": holder["adhoc"],
+        "prepared_s": holder["prepared"],
+        "speedup": speedup,
+        "adhoc_ops_per_s": N_OPS / holder["adhoc"],
+        "prepared_ops_per_s": ops_s,
+        "binding_copy_scan_s": holder["bind_copy"],
+        "binding_reuse_scan_s": holder["bind_reuse"],
+        "binding_reuse_speedup": reuse_speedup,
+    })
+    assert speedup >= MIN_SPEEDUP, (
+        f"prepared execution only {speedup:.2f}x faster "
+        f"(need >= {MIN_SPEEDUP}x)")

@@ -49,6 +49,21 @@ class Catalog:
         self._rules: dict[str, object] = {}
         self._rulesets: dict[str, RulesetInfo] = {
             DEFAULT_RULESET: RulesetInfo(DEFAULT_RULESET)}
+        #: monotonic schema version: bumped on every DDL change (relation,
+        #: index, rule).  Cached plans record the version they were built
+        #: against and are invalidated on mismatch.
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """The current schema version (see :meth:`bump_version`)."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Advance the schema version; called on any change that could
+        invalidate a cached plan (DDL, index changes, rule activation)."""
+        self._version += 1
+        return self._version
 
     # ------------------------------------------------------------------
     # relations
@@ -60,6 +75,7 @@ class Catalog:
             raise CatalogError(f"relation {name!r} already exists")
         relation = HeapRelation(name, schema)
         self._relations[name] = relation
+        self.bump_version()
         return relation
 
     def destroy_relation(self, name: str) -> None:
@@ -77,6 +93,7 @@ class Catalog:
         for index_name in [n for n, info in self._indexes.items()
                            if info.relation == name]:
             del self._indexes[index_name]
+        self.bump_version()
 
     def relation(self, name: str) -> HeapRelation:
         """Look up a relation by name."""
@@ -106,6 +123,7 @@ class Catalog:
         relation.attach_index(index)
         self._indexes[name] = IndexInfo(name, relation_name, attribute,
                                         index.kind)
+        self.bump_version()
         return index
 
     def destroy_index(self, name: str) -> None:
@@ -115,6 +133,7 @@ class Catalog:
         except KeyError:
             raise CatalogError(f"no index named {name!r}") from None
         self.relation(info.relation).detach_index(name)
+        self.bump_version()
 
     def index_info(self, name: str) -> IndexInfo:
         try:
@@ -142,6 +161,7 @@ class Catalog:
         self._rules[name] = rule
         self._rulesets.setdefault(
             ruleset, RulesetInfo(ruleset)).rule_names.add(name)
+        self.bump_version()
 
     def drop_rule(self, name: str) -> object:
         """Remove a rule from the catalog and its ruleset; returns it."""
@@ -151,6 +171,7 @@ class Catalog:
             raise CatalogError(f"no rule named {name!r}") from None
         for ruleset in self._rulesets.values():
             ruleset.rule_names.discard(name)
+        self.bump_version()
         return rule
 
     def rule(self, name: str) -> object:

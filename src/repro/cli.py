@@ -12,6 +12,11 @@ inspect the system:
 ``\\begin`` / ``\\commit`` / ``\\abort``  transaction control
 ``\\net``       network diagnostics
 ``\\trace``     the last rule firings
+``\\timing``    toggle per-command wall-clock reporting (``on|off``)
+``\\prepare``   ``\\prepare <name> <stmt>`` — prepare a parameterized
+               statement under a session name
+``\\exec``      ``\\exec <name> [k=v ...]`` — run a prepared statement
+               (positional literals fill ``$1``-style parameters)
 ``\\dump file`` write the database as an ARL script
 ``\\load file`` replace the session database from a dump
 ``\\q``         quit
@@ -26,11 +31,14 @@ from __future__ import annotations
 
 import re
 import sys
+import time
 
 from repro.core.introspect import describe_rule, network_summary
 from repro.db import Database
 from repro.errors import ArielError
 from repro.executor.executor import DmlResult, ResultSet
+from repro.lang.lexer import tokenize
+from repro.prepared import Prepared
 
 PROMPT = "ariel> "
 CONTINUE_PROMPT = "....> "
@@ -49,6 +57,8 @@ class Shell:
         self.db = db or Database()
         self.out = out
         self._buffer: list[str] = []
+        self._timing = False
+        self._prepared: dict[str, Prepared] = {}
 
     # ------------------------------------------------------------------
 
@@ -97,11 +107,18 @@ class Shell:
         text = text.strip().rstrip(";").strip()
         if not text:
             return
+        started = time.perf_counter()
         try:
             result = self.db.execute(text)
         except ArielError as exc:
             self._print(f"error: {exc}")
             return
+        elapsed = time.perf_counter() - started
+        self._show_result(result)
+        if self._timing:
+            self._print(f"Time: {elapsed * 1000.0:.3f} ms")
+
+    def _show_result(self, result) -> None:
         if isinstance(result, ResultSet):
             self._print(str(result))
             self._print(f"({len(result)} row(s))")
@@ -149,6 +166,18 @@ class Shell:
                     self._print("no firings recorded")
                 for record in self.db.firing_log[-20:]:
                     self._print(str(record))
+            elif command == "\\timing":
+                if argument not in ("", "on", "off"):
+                    self._print("usage: \\timing [on|off]")
+                else:
+                    self._timing = (argument == "on" if argument
+                                    else not self._timing)
+                    state = "on" if self._timing else "off"
+                    self._print(f"timing is {state}")
+            elif command == "\\prepare":
+                self._prepare(argument)
+            elif command == "\\exec":
+                self._exec(argument)
             elif command == "\\dump":
                 if not argument:
                     self._print("usage: \\dump <file>")
@@ -167,10 +196,90 @@ class Shell:
                 self._print(f"unknown meta-command {command!r} "
                             f"(try \\d, \\rules, \\rule, \\explain, "
                             f"\\begin, \\commit, \\abort, \\net, "
-                            f"\\trace, \\dump, \\load, \\q)")
+                            f"\\trace, \\timing, \\prepare, \\exec, "
+                            f"\\dump, \\load, \\q)")
         except (ArielError, OSError) as exc:
             self._print(f"error: {exc}")
         return True
+
+    def _prepare(self, argument: str) -> None:
+        name, _, statement = argument.partition(" ")
+        statement = statement.strip()
+        if not name or not statement:
+            self._print("usage: \\prepare <name> <statement>")
+            return
+        prepared = self.db.prepare(statement)
+        self._prepared[name] = prepared
+        sig = ", ".join(f"${p}" for p in prepared.signature)
+        self._print(f"prepared {name}({sig})")
+
+    def _exec(self, argument: str) -> None:
+        name, _, rest = argument.partition(" ")
+        if not name:
+            self._print("usage: \\exec <name> [param=value ...]")
+            return
+        prepared = self._prepared.get(name)
+        if prepared is None:
+            known = ", ".join(sorted(self._prepared)) or "none"
+            self._print(f"no prepared statement {name!r} "
+                        f"(prepared: {known})")
+            return
+        params = self._parse_exec_args(rest.strip(), prepared.signature)
+        if params is None:
+            return
+        started = time.perf_counter()
+        result = prepared.execute_with(params)
+        elapsed = time.perf_counter() - started
+        self._show_result(result)
+        if self._timing:
+            self._print(f"Time: {elapsed * 1000.0:.3f} ms")
+
+    def _parse_exec_args(self, text: str,
+                         signature: tuple[str, ...]
+                         ) -> dict[str, object] | None:
+        """``k=v`` pairs and/or bare literals (positional, filling the
+        signature in order); values are ARL literals."""
+        params: dict[str, object] = {}
+        position = 0
+        tokens = tokenize(text)
+        i = 0
+
+        def literal(j):
+            """(ok, value, next_index) for a literal at tokens[j]."""
+            token = tokens[j]
+            if token.kind in ("number", "string"):
+                return True, token.value, j + 1
+            if token.kind == "keyword" and token.value in ("true", "false",
+                                                           "null"):
+                return True, {"true": True, "false": False,
+                              "null": None}[token.value], j + 1
+            if (token.kind, token.value) == ("op", "-") \
+                    and tokens[j + 1].kind == "number":
+                return True, -tokens[j + 1].value, j + 2
+            return False, None, j
+
+        while tokens[i].kind != "eof":
+            token = tokens[i]
+            if token.kind == "ident" \
+                    and (tokens[i + 1].kind, tokens[i + 1].value) \
+                    == ("op", "="):
+                ok, value, i = literal(i + 2)
+                if not ok:
+                    self._print(f"bad value for parameter {token.value!r}")
+                    return None
+                params[str(token.value)] = value
+            else:
+                ok, value, i = literal(i)
+                if not ok:
+                    self._print(f"cannot parse argument near {token}")
+                    return None
+                if position >= len(signature):
+                    self._print("too many positional arguments "
+                                f"(statement takes {len(signature)})")
+                    return None
+                params[signature[position]] = value
+                position += 1
+        return params
 
     def _describe_relations(self, name: str) -> None:
         if name:

@@ -71,33 +71,47 @@ class ActionPlanner:
         self.optimizer = optimizer
         self.cache_plans = cache_plans
         self._holders: dict[str, _MatchesHolder] = {}
-        self._cache: dict[tuple[str, int], PlannedAction] = {}
+        #: (rule, command index) -> (plan, catalog version it was built at)
+        self._cache: dict[tuple[str, int], tuple[PlannedAction, int]] = {}
         #: diagnostics: how many times the optimizer ran for actions
         self.plans_built = 0
 
     def plan_firing(self, rule: CompiledRule,
                     matches: FrozenMatches) -> list[PlannedAction]:
         """Plans for every command of the rule action, bound to the
-        matches consumed by this firing."""
+        matches consumed by this firing.
+
+        Cached plans carry the catalog version they were built against
+        and are rebuilt lazily whenever the schema has changed since —
+        the same invalidation mechanism the prepared-statement cache
+        uses, so no caller needs to notify the planner of DDL.
+        """
         holder = self._holders.get(rule.name)
         if holder is None:
             holder = _MatchesHolder(rule.name, rule.variables)
             self._holders[rule.name] = holder
         holder.set(matches.matches())
+        version = self.catalog.version
         out: list[PlannedAction] = []
         for i, entry in enumerate(rule.actions):
             key = (rule.name, i)
-            if self.cache_plans and key in self._cache:
-                out.append(self._cache[key])
-                continue
+            if self.cache_plans:
+                cached = self._cache.get(key)
+                if cached is not None and cached[1] == version:
+                    out.append(cached[0])
+                    continue
             planned = self._plan_one(rule, entry, holder, len(matches))
             if self.cache_plans:
-                self._cache[key] = planned
+                self._cache[key] = (planned, version)
             out.append(planned)
         return out
 
     def invalidate(self, rule_name: str | None = None) -> None:
-        """Drop cached plans (schema/index changes make them stale)."""
+        """Drop cached plans explicitly.
+
+        Version tracking already invalidates stale plans lazily; this
+        remains for callers that drop a rule and want its entries gone.
+        """
         if rule_name is None:
             self._cache.clear()
             return

@@ -93,6 +93,9 @@ class RuleManager:
         compiled = CompiledRule(record.definition, self.catalog)
         self.network.add_rule(compiled, prime=True)
         record.compiled = compiled
+        # an active rule changes which plans are valid (query
+        # modification, action plans) — invalidate cached plans
+        self.catalog.bump_version()
         return compiled
 
     def deactivate(self, name: str) -> None:
@@ -103,6 +106,7 @@ class RuleManager:
         self.network.remove_rule(name)
         self.agenda.discard(name)
         record.compiled = None
+        self.catalog.bump_version()
 
     def remove(self, name: str) -> None:
         """Drop a rule entirely (deactivating it first if needed)."""

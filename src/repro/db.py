@@ -41,6 +41,7 @@ from repro.lang.parser import parse_command, parse_script
 from repro.lang.semantic import SemanticAnalyzer
 from repro.planner.optimizer import Optimizer
 from repro.planner.plans import explain as explain_plan
+from repro.prepared import Prepared, StatementCache, is_cacheable
 from repro.txn.transitions import TransitionHooks
 from repro.txn.undo import UndoLog
 
@@ -91,6 +92,10 @@ class Database:
         transition's whole Δ-set through the network as one batch
         (observationally identical to per-mutation routing; the batched
         path amortises selection-index probes and residual checks).
+    statement_cache_size:
+        Capacity of the transparent LRU plan cache inside
+        :meth:`execute` (0 disables it).  Explicitly prepared statements
+        (:meth:`prepare`) are unaffected by this bound.
     """
 
     def __init__(self, network: str = "a-treat",
@@ -98,7 +103,8 @@ class Database:
                  max_firings: int = 1000,
                  cache_action_plans: bool = False,
                  selection_index: SelectionIndex | None = None,
-                 batch_tokens: bool = False):
+                 batch_tokens: bool = False,
+                 statement_cache_size: int = 128):
         try:
             network_cls, default_policy = _NETWORKS[network.lower()]
         except KeyError:
@@ -132,6 +138,8 @@ class Database:
         #: asynchronous trigger delivery to applications (paper §8
         #: future work); see :meth:`subscribe`
         self.subscriptions = SubscriptionHub()
+        #: transparent LRU of plans for repeated ad-hoc DML text
+        self.statement_cache = StatementCache(statement_cache_size)
         self._cycle_running = False
         self._rules_suspended = False
         self._in_transaction = False
@@ -143,9 +151,39 @@ class Database:
 
     def execute(self, text: str):
         """Parse, analyze and execute one command; returns its result
-        (a ResultSet for retrieve, a DmlResult for updates, else None)."""
+        (a ResultSet for retrieve, a DmlResult for updates, else None).
+
+        Plain DML goes through a transparent statement cache keyed by
+        the command text: repeated executions reuse the cached plan,
+        re-planning automatically when DDL has changed the catalog since
+        the plan was built.
+        """
+        cached = self.statement_cache.lookup(text)
+        if cached is not None:
+            return cached.execute_with(None)
         command = self.analyzer.analyze(parse_command(text))
+        if is_cacheable(command) and self.statement_cache.capacity > 0:
+            prepared = Prepared(self, text, command=command)
+            self.statement_cache.store(text, prepared)
+            return prepared.execute_with(None)
         return self._dispatch(command)
+
+    def prepare(self, text: str) -> Prepared:
+        """Prepare one DML command: parse, analyze and plan it now, and
+        execute it repeatedly later with per-execution parameters::
+
+            p = db.prepare('retrieve (e.name) from e in emp '
+                           'where e.id = $id')
+            p.execute(id=7)
+        """
+        return Prepared(self, text)
+
+    def execute_many(self, text: str, rows) -> list:
+        """Prepare ``text`` once and execute it with every parameter
+        vector in ``rows`` (an iterable of name -> value dicts); returns
+        the per-execution results."""
+        prepared = self.prepare(text)
+        return [prepared.execute_with(row) for row in rows]
 
     def execute_script(self, text: str) -> list:
         """Execute a sequence of commands; returns their results."""
@@ -163,8 +201,21 @@ class Database:
         return result
 
     def explain(self, text: str) -> str:
-        """The physical plan the optimizer picks for a data command."""
+        """The physical plan the optimizer picks for a data command.
+
+        Cacheable commands route through the same statement cache as
+        :meth:`execute`, so the output always reflects what a cached
+        execution would actually run — after DDL, the version check
+        re-plans and explain shows the new access path.
+        """
+        cached = self.statement_cache.lookup(text)
+        if cached is not None:
+            return cached.explain()
         command = self.analyzer.analyze(parse_command(text))
+        if is_cacheable(command) and self.statement_cache.capacity > 0:
+            prepared = Prepared(self, text, command=command)
+            self.statement_cache.store(text, prepared)
+            return prepared.explain()
         planned = self.optimizer.plan_command(command)
         return explain_plan(planned.plan)
 
@@ -241,18 +292,18 @@ class Database:
             relation = self.catalog.create_relation(command.name, schema)
             self.deltasets.register_schema(command.name, schema)
             return None
+        # DDL paths need no explicit plan-cache invalidation: the catalog
+        # bumps its version, and both the statement cache and the action
+        # planner check it lazily before reusing a plan.
         if isinstance(command, ast.DestroyRelation):
             self.catalog.destroy_relation(command.name)
-            self.action_planner.invalidate()
             return None
         if isinstance(command, ast.DefineIndex):
             self.catalog.create_index(command.name, command.relation,
                                       command.attribute, command.kind)
-            self.action_planner.invalidate()
             return None
         if isinstance(command, ast.RemoveIndex):
             self.catalog.destroy_index(command.name)
-            self.action_planner.invalidate()
             return None
         if isinstance(command, ast.DefineRule):
             self.manager.define(command, activate=True)
@@ -288,6 +339,15 @@ class Database:
         for command in commands:
             planned = self.optimizer.plan_command(command)
             result = self.executor.run(planned)
+        self.hooks.flush_tokens()
+        self.deltasets.clear()
+        self._run_rule_cycle()
+        return result
+
+    def _execute_planned(self, planned, params: dict[str, object] | None):
+        """Run a cached plan as one transition (the prepared-statement
+        execution path: no parse/analyze/plan work)."""
+        result = self.executor.run(planned, params)
         self.hooks.flush_tokens()
         self.deltasets.clear()
         self._run_rule_cycle()

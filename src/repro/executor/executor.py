@@ -124,27 +124,35 @@ class Executor:
     # dispatch
     # ------------------------------------------------------------------
 
-    def run(self, planned: PlannedCommand):
+    def run(self, planned: PlannedCommand,
+            params: dict[str, object] | None = None):
         command = planned.command
         if isinstance(command, ast.Retrieve):
-            return self.run_retrieve(planned)
+            return self.run_retrieve(planned, params)
         if isinstance(command, ast.Append):
-            return self.run_append(planned)
+            return self.run_append(planned, params)
         if isinstance(command, ast.Delete):
-            return self.run_delete(planned)
+            return self.run_delete(planned, params)
         if isinstance(command, ast.Replace):
-            return self.run_replace(planned)
+            return self.run_replace(planned, params)
         raise ExecutionError(
             f"executor cannot run {type(command).__name__}")
+
+    @staticmethod
+    def _root(params: dict[str, object] | None) -> Bindings:
+        """The root bindings of one execution: empty except for the
+        prepared-statement parameter vector."""
+        return Bindings(params=params) if params else Bindings()
 
     # ------------------------------------------------------------------
     # retrieve
     # ------------------------------------------------------------------
 
-    def run_retrieve(self, planned: PlannedCommand) -> ResultSet:
+    def run_retrieve(self, planned: PlannedCommand,
+                     params: dict[str, object] | None = None) -> ResultSet:
         command: ast.Retrieve = planned.command
         if any(_contains_aggregate(col.expr) for col in command.targets):
-            return self._run_retrieve_aggregated(planned, command)
+            return self._run_retrieve_aggregated(planned, command, params)
         columns = []
         evaluators = []
         for i, col in enumerate(command.targets):
@@ -154,7 +162,8 @@ class Executor:
                            for k in command.sort_keys]
         rows = []
         keyed = []
-        for bound in planned.plan.rows(self.context, Bindings()):
+        for bound in planned.plan.rows(self.context, self._root(params),
+                                       reuse=True):
             row = tuple(ev(bound) for ev in evaluators)
             if sort_evaluators:
                 keyed.append((row, [ev(bound)
@@ -188,8 +197,9 @@ class Executor:
             self._materialize_into(command.into, result)
         return result
 
-    def _run_retrieve_aggregated(self, planned: PlannedCommand,
-                                 command: ast.Retrieve) -> ResultSet:
+    def _run_retrieve_aggregated(
+            self, planned: PlannedCommand, command: ast.Retrieve,
+            params: dict[str, object] | None = None) -> ResultSet:
         """Aggregated retrieve with POSTQUEL implicit grouping: the
         aggregate-free targets are the group keys."""
         columns = [self._result_name(col, i)
@@ -205,7 +215,8 @@ class Executor:
                 key_targets.append((i, compile_expr(col.expr)))
 
         groups: dict[tuple, list] = {}
-        for bound in planned.plan.rows(self.context, Bindings()):
+        for bound in planned.plan.rows(self.context, self._root(params),
+                                       reuse=True):
             key = tuple(ev(bound) for _, ev in key_targets)
             states = groups.get(key)
             if states is None:
@@ -253,7 +264,8 @@ class Executor:
     # append
     # ------------------------------------------------------------------
 
-    def run_append(self, planned: PlannedCommand) -> DmlResult:
+    def run_append(self, planned: PlannedCommand,
+                   params: dict[str, object] | None = None) -> DmlResult:
         command: ast.Append = planned.command
         relation = self.context.catalog.relation(command.relation)
         schema = relation.schema
@@ -261,7 +273,8 @@ class Executor:
         evaluators = [(col.name, compile_expr(col.expr))
                       for col in command.targets]
         new_tuples = []
-        for bound in planned.plan.rows(self.context, Bindings()):
+        for bound in planned.plan.rows(self.context, self._root(params),
+                                       reuse=True):
             if named:
                 by_name = {name: ev(bound) for name, ev in evaluators}
                 values = tuple(by_name.get(attr.name) for attr in schema)
@@ -276,10 +289,12 @@ class Executor:
     # delete / replace
     # ------------------------------------------------------------------
 
-    def run_delete(self, planned: PlannedCommand) -> DmlResult:
+    def run_delete(self, planned: PlannedCommand,
+                   params: dict[str, object] | None = None) -> DmlResult:
         command: ast.Delete = planned.command
         relation_name = self._target_relation(planned)
-        tids = self._collect_target_tids(planned, command.target_var)
+        tids = self._collect_target_tids(planned, command.target_var,
+                                         params)
         relation = self.context.catalog.relation(relation_name)
         applied = 0
         for tid in tids:
@@ -291,7 +306,8 @@ class Executor:
                 applied += 1
         return DmlResult(applied)
 
-    def run_replace(self, planned: PlannedCommand) -> DmlResult:
+    def run_replace(self, planned: PlannedCommand,
+                    params: dict[str, object] | None = None) -> DmlResult:
         command: ast.Replace = planned.command
         relation_name = self._target_relation(planned)
         relation = self.context.catalog.relation(relation_name)
@@ -300,7 +316,8 @@ class Executor:
                       for col in command.assignments]
         updates: list[tuple[TupleId, list[tuple[int, object]]]] = []
         seen: set[TupleId] = set()
-        for bound in planned.plan.rows(self.context, Bindings()):
+        for bound in planned.plan.rows(self.context, self._root(params),
+                                       reuse=True):
             tid = bound.tids.get(command.target_var)
             if tid is None:
                 raise ExecutionError(
@@ -322,11 +339,13 @@ class Executor:
             applied += 1
         return DmlResult(applied)
 
-    def _collect_target_tids(self, planned: PlannedCommand,
-                             target_var: str) -> list[TupleId]:
+    def _collect_target_tids(
+            self, planned: PlannedCommand, target_var: str,
+            params: dict[str, object] | None = None) -> list[TupleId]:
         tids: list[TupleId] = []
         seen: set[TupleId] = set()
-        for bound in planned.plan.rows(self.context, Bindings()):
+        for bound in planned.plan.rows(self.context, self._root(params),
+                                       reuse=True):
             tid = bound.tids.get(target_var)
             if tid is None:
                 raise ExecutionError(

@@ -57,6 +57,24 @@ class AllRef(Expr):
 
 
 @dataclass
+class Param(Expr):
+    """``$name`` or ``$1`` — a prepared-statement parameter placeholder.
+
+    Positional placeholders are named by their ordinal (``$1`` → name
+    ``"1"``).  The value is supplied per execution through the parameter
+    vector of :class:`~repro.lang.expr.Bindings`; ``type`` is inferred by
+    semantic analysis from the attribute context the placeholder appears
+    in (None when the context does not pin a type).
+    """
+
+    name: str
+    type: object | None = None
+
+    def key(self) -> str:
+        return self.name
+
+
+@dataclass
 class BinOp(Expr):
     """Binary operator: comparison, arithmetic, or and/or."""
 
@@ -316,6 +334,70 @@ CommandNode = Union[
 
 
 # ----------------------------------------------------------------------
+# parameter collection
+# ----------------------------------------------------------------------
+
+def collect_params(node) -> list[Param]:
+    """Every :class:`Param` node of a command (or expression), in
+    first-appearance order.  The de-duplicated name sequence is a
+    statement's *parameter signature*."""
+    out: list[Param] = []
+    _walk_params(node, out)
+    return out
+
+
+def _walk_params(node, out: list[Param]) -> None:
+    if node is None:
+        return
+    if isinstance(node, Param):
+        out.append(node)
+    elif isinstance(node, BinOp):
+        _walk_params(node.left, out)
+        _walk_params(node.right, out)
+    elif isinstance(node, UnaryOp):
+        _walk_params(node.operand, out)
+    elif isinstance(node, AggregateCall):
+        _walk_params(node.argument, out)
+    elif isinstance(node, ResultColumn):
+        _walk_params(node.expr, out)
+    elif isinstance(node, SortKey):
+        _walk_params(node.expr, out)
+    elif isinstance(node, Append):
+        for col in node.targets:
+            _walk_params(col, out)
+        _walk_params(node.where, out)
+    elif isinstance(node, Delete):
+        _walk_params(node.where, out)
+    elif isinstance(node, Replace):
+        for col in node.assignments:
+            _walk_params(col, out)
+        _walk_params(node.where, out)
+    elif isinstance(node, Retrieve):
+        for col in node.targets:
+            _walk_params(col, out)
+        _walk_params(node.where, out)
+        for key in node.sort_keys:
+            _walk_params(key, out)
+    elif isinstance(node, Block):
+        for command in node.commands:
+            _walk_params(command, out)
+    elif isinstance(node, DefineRule):
+        _walk_params(node.condition, out)
+        _walk_params(node.action, out)
+
+
+def param_signature(node) -> tuple[str, ...]:
+    """Distinct parameter names of a command, in first-appearance order."""
+    seen: set[str] = set()
+    names: list[str] = []
+    for param in collect_params(node):
+        if param.name not in seen:
+            seen.add(param.name)
+            names.append(param.name)
+    return tuple(names)
+
+
+# ----------------------------------------------------------------------
 # deparser
 # ----------------------------------------------------------------------
 
@@ -353,6 +435,9 @@ class _Deparser:
 
     def _render_AllRef(self, node: AllRef) -> str:
         return f"{node.var}.all"
+
+    def _render_Param(self, node: Param) -> str:
+        return f"${node.name}"
 
     def _render_NewCall(self, node: NewCall) -> str:
         return f"new({node.var})"

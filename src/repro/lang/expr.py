@@ -27,22 +27,26 @@ class Bindings:
     the transition (only present for transition-condition variables);
     ``tids`` maps a variable to the TupleId of the bound stored tuple when
     it has one (scans of base relations and P-nodes provide it; values
-    computed on the fly do not).
+    computed on the fly do not); ``params`` is the prepared-statement
+    parameter vector (name -> value), set once at the plan root and never
+    mutated during execution, so copies share it by reference.
     """
 
-    __slots__ = ("current", "previous", "tids")
+    __slots__ = ("current", "previous", "tids", "params")
 
     def __init__(self, current: dict[str, tuple] | None = None,
                  previous: dict[str, tuple] | None = None,
-                 tids: dict[str, object] | None = None):
+                 tids: dict[str, object] | None = None,
+                 params: dict[str, object] | None = None):
         self.current = current if current is not None else {}
         self.previous = previous if previous is not None else {}
         self.tids = tids if tids is not None else {}
+        self.params = params if params is not None else _NO_PARAMS
 
     def child(self) -> "Bindings":
         """A copy that can be extended without mutating this one."""
         return Bindings(dict(self.current), dict(self.previous),
-                        dict(self.tids))
+                        dict(self.tids), self.params)
 
     def bind(self, var: str, values: tuple, tid=None,
              previous: tuple | None = None) -> "Bindings":
@@ -55,9 +59,27 @@ class Bindings:
             out.previous[var] = previous
         return out
 
+    def rebind(self, var: str, values: tuple, tid=None,
+               previous: tuple | None = None) -> "Bindings":
+        """Mutate-in-place variant of :meth:`bind` for the scan hot path.
+
+        Safe only when the caller owns this Bindings and its consumer
+        does not retain yielded bindings across iterations (scans under
+        a hash/sort-merge build side must keep using :meth:`bind`).
+        """
+        self.current[var] = values
+        if tid is not None:
+            self.tids[var] = tid
+        if previous is not None:
+            self.previous[var] = previous
+        return self
+
     def __repr__(self) -> str:
         return f"Bindings({self.current!r}, previous={self.previous!r})"
 
+
+#: shared empty parameter vector for parameterless execution
+_NO_PARAMS: dict[str, object] = {}
 
 Evaluator = Callable[[Bindings], object]
 
@@ -80,6 +102,16 @@ def compile_expr(expr: ast.Expr) -> Evaluator:
         if expr.previous:
             return lambda b: b.previous[var][pos]
         return lambda b: b.current[var][pos]
+    if isinstance(expr, ast.Param):
+        name = expr.name
+
+        def eval_param(b: Bindings):
+            try:
+                return b.params[name]
+            except KeyError:
+                raise ExecutionError(
+                    f"no value bound for parameter ${name}") from None
+        return eval_param
     if isinstance(expr, ast.NewCall):
         return lambda b: True
     if isinstance(expr, ast.UnaryOp):
@@ -208,13 +240,27 @@ _ARITHMETIC = {
 def constant_value(expr: ast.Expr):
     """Fold a constant expression to its value.
 
-    Raises SemanticError if the expression references any tuple variable.
+    Raises SemanticError if the expression references any tuple variable
+    or parameter placeholder (a parameter is only known at bind time).
     Used by predicate analysis to extract interval bounds like
     ``1.1 * 30000``.
     """
-    if references_variables(expr):
+    if references_variables(expr) or contains_params(expr):
         raise SemanticError("expression is not constant")
     return compile_expr(expr)(Bindings())
+
+
+def contains_params(expr: ast.Expr) -> bool:
+    """True if the expression mentions any ``$param`` placeholder."""
+    if isinstance(expr, ast.Param):
+        return True
+    if isinstance(expr, ast.BinOp):
+        return contains_params(expr.left) or contains_params(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return contains_params(expr.operand)
+    if isinstance(expr, ast.AggregateCall):
+        return contains_params(expr.argument)
+    return False
 
 
 def references_variables(expr: ast.Expr) -> bool:

@@ -31,7 +31,7 @@ class Token:
     """One lexical token with its source position (1-based)."""
 
     kind: str          # 'keyword' | 'ident' | 'number' | 'string' | 'op'
-                       # | 'eof'
+                       # | 'param' | 'eof'
     value: object
     line: int
     column: int
@@ -101,6 +101,8 @@ class Lexer:
             return self._number(line, column)
         if ch.isalpha() or ch == "_":
             return self._word(line, column)
+        if ch == "$":
+            return self._param(line, column)
         for op in OPERATORS:
             if self.text.startswith(op, self.pos):
                 self._advance(len(op))
@@ -156,6 +158,22 @@ class Lexer:
         else:
             value = int(text)
         return Token("number", value, line, column)
+
+    def _param(self, line: int, column: int) -> Token:
+        """``$name`` or ``$1`` — a prepared-statement placeholder."""
+        self._advance()   # '$'
+        start = self.pos
+        if self._peek().isdigit():
+            while self._peek().isdigit():
+                self._advance()
+        else:
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+        name = self.text[start:self.pos]
+        if not name:
+            raise ParseError("expected a parameter name after '$'",
+                             line, column)
+        return Token("param", name, line, column)
 
     def _word(self, line: int, column: int) -> Token:
         start = self.pos

@@ -453,6 +453,9 @@ class Parser:
 
     def _primary(self) -> ast.Expr:
         token = self._peek()
+        if token.kind == "param":
+            self._advance()
+            return ast.Param(str(token.value))
         if token.kind == "number":
             self._advance()
             return ast.Const(token.value)

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.errors import SemanticError
 from repro.intervals.interval import Interval, NEG_INF, POS_INF, key_lt
 from repro.lang import ast_nodes as ast
-from repro.lang.expr import constant_value, variables_of
+from repro.lang.expr import constant_value, contains_params, variables_of
 
 
 def split_conjuncts(expr: ast.Expr | None) -> list[ast.Expr]:
@@ -262,6 +262,105 @@ def analyze_selection(conjuncts: list[ast.Expr],
     residual_set = {id(c) for c in residual}
     ordered = [c for c in conjuncts if id(c) in residual_set]
     return SelectionAnalysis(anchor, conjoin(ordered))
+
+
+# ----------------------------------------------------------------------
+# parameterized anchors (prepared statements)
+# ----------------------------------------------------------------------
+
+@dataclass
+class ParamAnchor:
+    """An index anchor whose bounds are parameter expressions.
+
+    Produced for conjuncts like ``var.attr = $id`` or
+    ``var.attr > $low and var.attr <= $high`` — the bound expressions
+    reference no tuple variables but at least one ``$param``, so the
+    access path can be chosen at plan time while the concrete key is
+    resolved from the parameter vector at each execution.  ``eq`` set
+    means a point probe; otherwise ``low``/``high`` give the (possibly
+    one-sided) range bounds.
+    """
+
+    attr: str
+    position: int
+    eq: ast.Expr | None = None
+    low: ast.Expr | None = None
+    low_closed: bool = False
+    high: ast.Expr | None = None
+    high_closed: bool = False
+
+
+def param_bound_of_conjunct(conjunct: ast.Expr, var: str
+                            ) -> tuple[str, int, str, ast.Expr] | None:
+    """The ``(attr, position, op, bound_expr)`` form of a conjunct
+    comparing ``var.attr`` against a tuple-variable-free expression that
+    contains at least one parameter placeholder; None otherwise."""
+    if not isinstance(conjunct, ast.BinOp) \
+            or conjunct.op not in ast.COMPARISON_OPS \
+            or conjunct.op == "!=":
+        return None
+    sides = [(conjunct.left, conjunct.right, conjunct.op),
+             (conjunct.right, conjunct.left, _flip(conjunct.op))]
+    for attr_side, bound_side, op in sides:
+        if not isinstance(attr_side, ast.AttrRef) or attr_side.previous:
+            continue
+        if attr_side.var != var:
+            continue
+        if variables_of(bound_side) or not contains_params(bound_side):
+            continue
+        return (attr_side.attr, attr_side.position or 0, op, bound_side)
+    return None
+
+
+def analyze_param_selection(conjuncts: list[ast.Expr],
+                            var: str) -> tuple[ParamAnchor | None,
+                                               ast.Expr | None]:
+    """Choose a parameterized index anchor for a variable's selections.
+
+    Returns ``(anchor, residual)``; the residual re-checks every conjunct
+    not folded into the anchor (including constant-interval conjuncts,
+    which the caller's plain analysis may prefer to anchor on instead).
+    Equality anchors win over range anchors; among ranges the attribute
+    with the most param bounds wins.
+    """
+    by_attr: dict[str, list[tuple[ast.Expr, int, str, ast.Expr]]] = {}
+    for conjunct in conjuncts:
+        form = param_bound_of_conjunct(conjunct, var)
+        if form is not None:
+            attr, position, op, bound = form
+            by_attr.setdefault(attr, []).append(
+                (conjunct, position, op, bound))
+    if not by_attr:
+        return None, conjoin(conjuncts)
+
+    def score(attr: str) -> tuple:
+        entries = by_attr[attr]
+        has_eq = any(op == "=" for _, _, op, _ in entries)
+        return (has_eq, len(entries), attr)
+
+    best = max(by_attr, key=score)
+    entries = by_attr[best]
+    position = entries[0][1]
+    anchor = ParamAnchor(best, position)
+    folded: set[int] = set()
+    for conjunct, _, op, bound in entries:
+        if op == "=" and anchor.eq is None:
+            anchor.eq = bound
+            folded.add(id(conjunct))
+        elif op in (">", ">=") and anchor.low is None \
+                and anchor.eq is None:
+            anchor.low = bound
+            anchor.low_closed = op == ">="
+            folded.add(id(conjunct))
+        elif op in ("<", "<=") and anchor.high is None \
+                and anchor.eq is None:
+            anchor.high = bound
+            anchor.high_closed = op == "<="
+            folded.add(id(conjunct))
+    if anchor.eq is None and anchor.low is None and anchor.high is None:
+        return None, conjoin(conjuncts)
+    residual = conjoin([c for c in conjuncts if id(c) not in folded])
+    return anchor, residual
 
 
 def equijoin_of_conjunct(conjunct: ast.Expr) -> EquiJoinPredicate | None:

@@ -262,6 +262,11 @@ class SemanticAnalyzer:
                             outer: Scope) -> None:
         if self.catalog.has_rule(cmd.name):
             raise SemanticError(f"rule {cmd.name!r} already exists")
+        params = ast.collect_params(cmd)
+        if params:
+            raise SemanticError(
+                f"parameter ${params[0].name} is not allowed in a rule "
+                f"definition; rules have no statement-level parameters")
         scope = self._make_scope(cmd.from_items, Scope())
         scope.allow_previous = True
         scope.allow_new = True
@@ -332,6 +337,7 @@ class SemanticAnalyzer:
         """Record the resolved var -> relation map for the planner."""
         cmd.resolved_scope = dict(scope.bindings)
         cmd.rule_vars = scope.rule_vars
+        cmd.param_signature = ast.param_signature(cmd)
 
     def _make_scope(self, from_items: list[ast.FromItem],
                     outer: Scope) -> Scope:
@@ -433,6 +439,8 @@ class SemanticAnalyzer:
     def _check_assignable(self, col: ast.ResultColumn,
                           expected: AttributeType, scope: Scope) -> None:
         actual = self._check_expr(col.expr, scope)
+        if isinstance(col.expr, ast.Param) and actual is None:
+            col.expr.type = expected
         if actual is None or actual is expected:
             return                      # null is assignable anywhere
         if (expected is AttributeType.FLOAT
@@ -446,6 +454,11 @@ class SemanticAnalyzer:
     def _check_expr(self, expr: ast.Expr, scope: Scope) -> AttributeType:
         if isinstance(expr, ast.Const):
             return self._const_type(expr.value)
+        if isinstance(expr, ast.Param):
+            # A placeholder's type is unknown until it meets a typed
+            # operand (see _check_binop / _check_assignable); until then
+            # it behaves like the null literal, compatible with anything.
+            return expr.type
         if isinstance(expr, ast.AttrRef):
             return self._check_attr_ref(expr, scope)
         if isinstance(expr, ast.NewCall):
@@ -544,6 +557,10 @@ class SemanticAnalyzer:
         """
         left = self._check_expr(expr.left, scope)
         right = self._check_expr(expr.right, scope)
+        if isinstance(expr.left, ast.Param) and left is None:
+            expr.left.type = right
+        if isinstance(expr.right, ast.Param) and right is None:
+            expr.right.type = left
         numeric = (AttributeType.INT, AttributeType.FLOAT, None)
         if expr.op in ast.LOGICAL_OPS:
             if left not in (AttributeType.BOOL, None) \

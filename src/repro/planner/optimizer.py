@@ -21,10 +21,13 @@ from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
 from repro.errors import PlanError
+from repro.intervals.interval import Interval, NEG_INF, POS_INF
 from repro.lang import ast_nodes as ast
-from repro.lang.expr import Bindings, compile_expr, is_true, variables_of
+from repro.lang.expr import (
+    Bindings, compile_expr, contains_params, is_true, variables_of)
 from repro.lang.predicates import (
-    analyze_selection, build_condition_graph, conjoin, equijoin_of_conjunct)
+    analyze_param_selection, analyze_selection, build_condition_graph,
+    conjoin, equijoin_of_conjunct)
 from repro.planner import cost as costs
 from repro.planner.plans import (
     EmptyPlan, FilterPlan, HashJoin, IndexProbe, IndexScan,
@@ -119,11 +122,21 @@ class Optimizer:
         graph = build_condition_graph(
             where, sorted(set(variables) | set(seed_vars)))
 
-        # Variable-free conjuncts evaluate once: any non-True kills the
-        # command.
+        # Variable-free conjuncts without parameters evaluate once: any
+        # non-True kills the command.  Parameterized ones can only be
+        # decided at execution time, so they become a runtime filter over
+        # the finished plan.
+        dynamic_constants = []
         for conjunct in graph.constants:
-            if not is_true(compile_expr(conjunct)(Bindings())):
+            if contains_params(conjunct):
+                dynamic_constants.append(conjunct)
+            elif not is_true(compile_expr(conjunct)(Bindings())):
                 return EmptyPlan()
+
+        def finish(plan: Plan) -> Plan:
+            if dynamic_constants:
+                return FilterPlan(plan, conjoin(dynamic_constants))
+            return plan
 
         inputs: list[_Input] = []
         if seed is not None:
@@ -148,12 +161,12 @@ class Optimizer:
         if any(isinstance(i.plan, EmptyPlan) for i in inputs):
             return EmptyPlan()
         if not inputs:
-            return SingletonPlan()
+            return finish(SingletonPlan())
 
         join_conjuncts = [j for j in graph.joins
                           if not variables_of(j) <= seed_vars]
         best = self._order_joins(inputs, join_conjuncts, scope)
-        return best.plan
+        return finish(best.plan)
 
     # ------------------------------------------------------------------
     # access paths
@@ -184,6 +197,35 @@ class Optimizer:
                     best_cost = idx_cost
                     best_plan = IndexScan(relation_name, var, index.name,
                                           interval, analysis.residual)
+        # Parameterized anchors: a conjunct like ``var.attr = $id`` can
+        # still drive index selection — the access path is fixed at plan
+        # time, the key resolves from the parameter vector per execution.
+        if any(contains_params(c) for c in conjuncts):
+            p_anchor, p_residual = analyze_param_selection(conjuncts, var)
+            if p_anchor is not None:
+                idx_cost, _ = costs.index_scan_cost(out_rows)
+                if p_anchor.eq is not None:
+                    index = (relation.index_on(p_anchor.attr, "hash")
+                             or relation.index_on(p_anchor.attr, "btree"))
+                    # an equality probe is at worst as good as a static
+                    # range anchor at equal estimated cost
+                    if index is not None and idx_cost <= best_cost:
+                        best_cost = idx_cost
+                        best_plan = IndexProbe(relation_name, var,
+                                               index.name, p_anchor.eq,
+                                               p_residual)
+                else:
+                    index = relation.index_on(p_anchor.attr, "btree")
+                    if index is not None and idx_cost < best_cost:
+                        bounds = Interval(NEG_INF, POS_INF,
+                                          p_anchor.low_closed,
+                                          p_anchor.high_closed)
+                        best_cost = idx_cost
+                        best_plan = IndexScan(relation_name, var,
+                                              index.name, bounds,
+                                              p_residual,
+                                              low_expr=p_anchor.low,
+                                              high_expr=p_anchor.high)
         return _Input(frozenset([var]), best_plan, best_cost, out_rows,
                       relation_name, var)
 

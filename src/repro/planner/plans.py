@@ -26,12 +26,21 @@ from repro.lang.expr import Bindings, compile_expr, is_true
 
 
 class Plan:
-    """Base class for physical operators."""
+    """Base class for physical operators.
+
+    ``reuse=True`` lets scans mutate one Bindings object in place per
+    yielded row instead of copying three dicts per row.  It is only safe
+    when the consumer finishes with each yielded binding before pulling
+    the next (the executor's evaluate-and-discard loops); operators that
+    retain rows (hash build sides, sort-merge inputs) always ask their
+    children for fresh copies.
+    """
 
     #: tuple variables this plan binds
     vars: frozenset[str] = frozenset()
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
         raise NotImplementedError
 
     def label(self) -> str:
@@ -57,13 +66,22 @@ class SeqScan(Plan):
         self._predicate = _compile_optional(predicate)
         self.vars = frozenset([var])
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
         relation = ctx.catalog.relation(self.relation)
         predicate = self._predicate
-        for stored in relation.scan():
-            bound = outer.bind(self.var, stored.values, stored.tid)
-            if predicate is None or is_true(predicate(bound)):
-                yield bound
+        var = self.var
+        if reuse:
+            base = outer.child()
+            for stored in relation.scan():
+                bound = base.rebind(var, stored.values, stored.tid)
+                if predicate is None or is_true(predicate(bound)):
+                    yield bound
+        else:
+            for stored in relation.scan():
+                bound = outer.bind(var, stored.values, stored.tid)
+                if predicate is None or is_true(predicate(bound)):
+                    yield bound
 
     def label(self) -> str:
         text = f"SeqScan {self.relation} as {self.var}"
@@ -76,19 +94,31 @@ class IndexScan(Plan):
     """Index access with constant bounds: a B-tree range or a hash point.
 
     ``residual`` re-checks conjuncts the index key does not fully cover.
+    ``low_expr`` / ``high_expr`` are parameterized bounds (prepared
+    statements): evaluated against the outer bindings on every execution,
+    they override the corresponding static interval endpoint, so one
+    cached plan serves every parameter value.  A bound that evaluates to
+    null produces no rows (SQL comparison semantics).
     """
 
     def __init__(self, relation: str, var: str, index_name: str,
-                 interval: Interval, residual: ast.Expr | None = None):
+                 interval: Interval, residual: ast.Expr | None = None,
+                 low_expr: ast.Expr | None = None,
+                 high_expr: ast.Expr | None = None):
         self.relation = relation
         self.var = var
         self.index_name = index_name
         self.interval = interval
         self.residual_expr = residual
         self._residual = _compile_optional(residual)
+        self.low_expr = low_expr
+        self.high_expr = high_expr
+        self._low = _compile_optional(low_expr)
+        self._high = _compile_optional(high_expr)
         self.vars = frozenset([var])
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
         relation = ctx.catalog.relation(self.relation)
         index = None
         for candidate in relation.indexes():
@@ -104,18 +134,35 @@ class IndexScan(Plan):
         else:
             low = None if iv.low is NEG_INF else iv.low
             high = None if iv.high is POS_INF else iv.high
+            if self._low is not None:
+                low = self._low(outer)
+                if low is None:
+                    return
+            if self._high is not None:
+                high = self._high(outer)
+                if high is None:
+                    return
             tids = index.range_search(low, high,
                                       low_inclusive=iv.low_closed,
                                       high_inclusive=iv.high_closed)
         residual = self._residual
+        var = self.var
+        base = outer.child() if reuse else None
         for stored in relation.fetch(tids):
-            bound = outer.bind(self.var, stored.values, stored.tid)
+            if reuse:
+                bound = base.rebind(var, stored.values, stored.tid)
+            else:
+                bound = outer.bind(var, stored.values, stored.tid)
             if residual is None or is_true(residual(bound)):
                 yield bound
 
     def label(self) -> str:
         text = (f"IndexScan {self.relation} as {self.var} "
                 f"using {self.index_name} {self.interval}")
+        if self.low_expr is not None:
+            text += f" low={deparse(self.low_expr)}"
+        if self.high_expr is not None:
+            text += f" high={deparse(self.high_expr)}"
         if self.residual_expr is not None:
             text += f" [{deparse(self.residual_expr)}]"
         return text
@@ -137,7 +184,8 @@ class IndexProbe(Plan):
         self._residual = _compile_optional(residual)
         self.vars = frozenset([var])
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
         key = self._key(outer)
         if key is None:
             return
@@ -151,8 +199,13 @@ class IndexProbe(Plan):
             raise PlanError(f"index {self.index_name!r} disappeared; "
                             f"replan required")
         residual = self._residual
+        var = self.var
+        base = outer.child() if reuse else None
         for stored in relation.fetch(index.search(key)):
-            bound = outer.bind(self.var, stored.values, stored.tid)
+            if reuse:
+                bound = base.rebind(var, stored.values, stored.tid)
+            else:
+                bound = outer.bind(var, stored.values, stored.tid)
             if residual is None or is_true(residual(bound)):
                 yield bound
 
@@ -178,7 +231,9 @@ class PnodeScan(Plan):
         self._predicate = _compile_optional(predicate)
         self.vars = frozenset(pnode.variables)
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
+        # match.extend always copies, so the reuse flag has no effect.
         predicate = self._predicate
         for match in self.pnode.matches():
             bound = match.extend(outer)
@@ -202,9 +257,10 @@ class FilterPlan(Plan):
         self._predicate = compile_expr(predicate)
         self.vars = child.vars
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
         predicate = self._predicate
-        for bound in self.child.rows(ctx, outer):
+        for bound in self.child.rows(ctx, outer, reuse):
             if is_true(predicate(bound)):
                 yield bound
 
@@ -230,10 +286,14 @@ class NestedLoopJoin(Plan):
         self._predicate = _compile_optional(predicate)
         self.vars = outer.vars | inner.vars
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
+        # The outer side may reuse: each left row is fully consumed by
+        # the inner loop before the next one is produced.  The inner
+        # side's rows reach our consumer, so it inherits our flag.
         predicate = self._predicate
-        for left in self.outer.rows(ctx, outer):
-            for both in self.inner.rows(ctx, left):
+        for left in self.outer.rows(ctx, outer, True):
+            for both in self.inner.rows(ctx, left, reuse):
                 if predicate is None or is_true(predicate(both)):
                     yield both
 
@@ -269,7 +329,11 @@ class HashJoin(Plan):
         self._residual = _compile_optional(residual)
         self.vars = left.vars | right.vars
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
+        # The build side is retained in the table, so it must not reuse;
+        # probe rows are copied into ``merged`` before the next row, so
+        # the probe side may.
         table: dict[tuple, list[Bindings]] = {}
         for left in self.left.rows(ctx, outer):
             key = tuple(k(left) for k in self._left_keys)
@@ -278,7 +342,7 @@ class HashJoin(Plan):
             table.setdefault(key, []).append(left)
         residual = self._residual
         right_vars = self.right.vars
-        for right in self.right.rows(ctx, outer):
+        for right in self.right.rows(ctx, outer, True):
             key = tuple(k(right) for k in self._right_keys)
             if any(v is None for v in key):
                 continue
@@ -327,7 +391,9 @@ class SortMergeJoin(Plan):
         self._residual = _compile_optional(residual)
         self.vars = left.vars | right.vars
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
+        # Both inputs are materialized, so neither may reuse bindings.
         left_rows = [(self._left_key(b), b)
                      for b in self.left.rows(ctx, outer)]
         right_rows = [(self._right_key(b), b)
@@ -380,7 +446,8 @@ class SortMergeJoin(Plan):
 class EmptyPlan(Plan):
     """Produces no rows (unsatisfiable predicates plan to this)."""
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
         return iter(())
 
     def label(self) -> str:
@@ -391,7 +458,8 @@ class SingletonPlan(Plan):
     """Produces exactly the outer bindings once (zero-variable commands
     like ``append t(a = 1)``)."""
 
-    def rows(self, ctx, outer: Bindings) -> Iterator[Bindings]:
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
         yield outer
 
     def label(self) -> str:

@@ -13,7 +13,8 @@ from __future__ import annotations
 from repro.catalog.catalog import Catalog
 from repro.lang import ast_nodes as ast
 from repro.lang.expr import variables_of
-from repro.lang.predicates import equijoin_of_conjunct, interval_of_conjunct
+from repro.lang.predicates import (
+    equijoin_of_conjunct, interval_of_conjunct, param_bound_of_conjunct)
 from repro.intervals.interval import NEG_INF, POS_INF
 
 #: System R's default selectivities
@@ -89,6 +90,14 @@ class Statistics:
             one_sided = (interval.low is NEG_INF
                          or interval.high is POS_INF)
             return RANGE_DEFAULT if one_sided else RANGE_DEFAULT / 2
+        param_bound = param_bound_of_conjunct(conjunct, var)
+        if param_bound is not None:
+            # A parameterized bound: the value is unknown at plan time,
+            # so fall back to the System R defaults for its shape.
+            _, _, op, _ = param_bound
+            if op == "=":
+                return 1.0 / self.distinct(relation_name, param_bound[0])
+            return RANGE_DEFAULT
         if isinstance(conjunct, ast.BinOp) and conjunct.op == "!=":
             return NEQ_DEFAULT
         if isinstance(conjunct, ast.NewCall):
