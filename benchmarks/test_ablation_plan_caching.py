@@ -93,8 +93,6 @@ def test_reoptimize_adapts_to_new_index(benchmark):
         # capture the plan for the next firing
         rule = db.manager.rule("route").compiled
         from repro.core.pnode import FrozenMatches
-        from repro.core.alpha import MemoryEntry
-        from repro.storage.tuples import TupleId
         matches = FrozenMatches("route", rule.variables, [])
         plans = db.action_planner.plan_firing(rule, matches)
         holder["ops"] = plan_operators(plans[0].planned.plan)

@@ -13,7 +13,7 @@ import time
 
 import pytest
 
-from common import emit, make_database, prepared_database, rule_text
+from common import emit, prepared_database
 
 TYPES = (1, 2, 3)
 

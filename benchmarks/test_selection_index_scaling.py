@@ -13,14 +13,13 @@ import time
 
 import pytest
 
-from common import emit, make_database, install_rules, activate_rules
+from common import emit, install_rules, activate_rules
 from repro.core.selection_index import LinearIntervalIndex, SelectionIndex
 
 COUNTS = (50, 200, 800)
 
 
 def build(count: int, linear: bool):
-    from repro import Database
     selection_index = (SelectionIndex(index_factory=LinearIntervalIndex)
                        if linear else None)
     db = None

@@ -19,11 +19,12 @@ from repro.errors import (
     ArielError, CatalogError, ExecutionError, ParseError, PlanError,
     RuleError, RuleLoopError, SemanticError, StorageError,
     TransactionError)
+from repro.observe import EngineStats, TraceHub
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Database",
+    "Database", "EngineStats", "TraceHub",
     "ArielError", "CatalogError", "ExecutionError", "ParseError",
     "PlanError", "RuleError", "RuleLoopError", "SemanticError",
     "StorageError", "TransactionError",

@@ -28,7 +28,10 @@ class AttributeType(enum.Enum):
         try:
             return _TYPE_ALIASES[name.lower()]
         except KeyError:
-            raise SemanticError(f"unknown type name: {name!r}") from None
+            accepted = ", ".join(sorted(_TYPE_ALIASES))
+            raise SemanticError(
+                f"unknown type name: {name!r}; "
+                f"accepted names and aliases: {accepted}") from None
 
     def python_type(self) -> type:
         """The Python type used to store values of this attribute type."""

@@ -8,10 +8,14 @@ inspect the system:
 ``\\d``         list relations (or ``\\d name`` for one schema)
 ``\\rules``     list rules and network statistics
 ``\\rule name`` describe one rule's network and modified action
-``\\explain q`` show the plan for a data command
+``\\explain q`` show the plan for a data command; ``\\explain analyze
+               q`` executes it and annotates every operator with rows,
+               loops and wall time
 ``\\begin`` / ``\\commit`` / ``\\abort``  transaction control
 ``\\net``       network diagnostics
-``\\trace``     the last rule firings
+``\\stats``     engine counters (``\\stats reset`` clears them)
+``\\trace``     the last rule firings; ``\\trace on|off`` toggles a
+               live printout of every firing as it happens
 ``\\timing``    toggle per-command wall-clock reporting (``on|off``)
 ``\\prepare``   ``\\prepare <name> <stmt>`` — prepare a parameterized
                statement under a session name
@@ -59,6 +63,7 @@ class Shell:
         self._buffer: list[str] = []
         self._timing = False
         self._prepared: dict[str, Prepared] = {}
+        self._trace_token: int | None = None
 
     # ------------------------------------------------------------------
 
@@ -125,6 +130,9 @@ class Shell:
         elif isinstance(result, DmlResult):
             self._print(f"ok: {result.count} tuple(s) affected; "
                         f"{self.db.firings} rule firing(s) so far")
+        elif isinstance(result, str):
+            # explain / explain analyze return their rendering
+            self._print(result)
         else:
             self._print("ok")
 
@@ -144,7 +152,11 @@ class Shell:
                 else:
                     self._print(describe_rule(self.db.manager, argument))
             elif command == "\\explain":
-                self._print(self.db.explain(argument))
+                if argument.startswith("analyze "):
+                    self._print(self.db.explain(
+                        argument[len("analyze "):], analyze=True))
+                else:
+                    self._print(self.db.explain(argument))
             elif command == "\\begin":
                 self.db.begin()
                 self._print("transaction open")
@@ -161,11 +173,16 @@ class Shell:
                     f"tokens={network.tokens_processed} "
                     f"firings={self.db.firings} "
                     f"alpha-entries={network.memory_entry_count()}")
+            elif command == "\\stats":
+                if argument == "reset":
+                    self.db.stats.reset()
+                    self._print("counters reset")
+                elif argument:
+                    self._print("usage: \\stats [reset]")
+                else:
+                    self._print(self.db.stats.report())
             elif command == "\\trace":
-                if not self.db.firing_log:
-                    self._print("no firings recorded")
-                for record in self.db.firing_log[-20:]:
-                    self._print(str(record))
+                self._trace(argument)
             elif command == "\\timing":
                 if argument not in ("", "on", "off"):
                     self._print("usage: \\timing [on|off]")
@@ -191,16 +208,42 @@ class Shell:
                 else:
                     from repro import persist
                     self.db = persist.load(argument)
+                    # the trace registration died with the old database
+                    self._trace_token = None
                     self._print(f"loaded {argument} (fresh database)")
             else:
                 self._print(f"unknown meta-command {command!r} "
                             f"(try \\d, \\rules, \\rule, \\explain, "
                             f"\\begin, \\commit, \\abort, \\net, "
-                            f"\\trace, \\timing, \\prepare, \\exec, "
-                            f"\\dump, \\load, \\q)")
+                            f"\\stats, \\trace, \\timing, \\prepare, "
+                            f"\\exec, \\dump, \\load, \\q)")
         except (ArielError, OSError) as exc:
             self._print(f"error: {exc}")
         return True
+
+    def _trace(self, argument: str) -> None:
+        if argument == "on":
+            if self._trace_token is None:
+                self._trace_token = self.db.on_event(
+                    self._print_trace_event, "rule_fired")
+            self._print("live rule-firing trace is on")
+        elif argument == "off":
+            if self._trace_token is not None:
+                self.db.off_event(self._trace_token)
+                self._trace_token = None
+            self._print("live rule-firing trace is off")
+        elif argument:
+            self._print("usage: \\trace [on|off]")
+        else:
+            if not self.db.firing_log:
+                self._print("no firings recorded")
+            for record in self.db.firing_log[-20:]:
+                self._print(str(record))
+
+    def _print_trace_event(self, event: str, payload: dict) -> None:
+        self._print(f"[{event}] #{payload['sequence']} "
+                    f"{payload['rule']} (priority {payload['priority']}, "
+                    f"{payload['matches']} match(es))")
 
     def _prepare(self, argument: str) -> None:
         name, _, statement = argument.partition(" ")

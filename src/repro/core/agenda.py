@@ -13,10 +13,15 @@ from __future__ import annotations
 
 from repro.core.pnode import PNode
 from repro.core.rules import CompiledRule
+from repro.observe import NULL_STATS
 
 
 class Agenda:
     """Tracks which rules may be eligible and picks the next to fire."""
+
+    #: engine counter registry (``agenda.*``); the owning manager replaces
+    #: the shared disabled default with the Database's registry
+    stats = NULL_STATS
 
     def __init__(self):
         self._notified: set[str] = set()
@@ -56,6 +61,10 @@ class Agenda:
                 best, best_key = rule, key
         for name in stale:
             self._notified.discard(name)
+        if self.stats.enabled:
+            self.stats.bump("agenda.selections")
+            if stale:
+                self.stats.bump("agenda.stale_dropped", len(stale))
         return best
 
     def __len__(self) -> int:

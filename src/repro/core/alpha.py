@@ -29,6 +29,7 @@ from typing import Iterable, Iterator
 from repro.core.rules import VariableSpec
 from repro.core.tokens import Token, TokenKind
 from repro.lang.ast_nodes import EventKind, EventSpec
+from repro.observe import NULL_STATS
 from repro.storage.tuples import TupleId
 
 
@@ -141,6 +142,10 @@ class AlphaMemory:
 
     is_virtual = False
 
+    #: engine counter registry (``alpha.*``); the owning network replaces
+    #: the shared disabled default with the Database's registry
+    stats = NULL_STATS
+
     def __init__(self, rule_name: str, spec: VariableSpec):
         self.rule_name = rule_name
         self.spec = spec
@@ -178,6 +183,11 @@ class AlphaMemory:
         existing = self._entries.get(entry.tid)
         if existing == entry:
             return False
+        stats = self.stats
+        if stats.enabled:
+            counters = stats.counters
+            counters["alpha.inserts"] = \
+                counters.get("alpha.inserts", 0) + 1
         self._entries[entry.tid] = entry
         if self._join_indexes:
             for position, buckets in self._join_indexes.items():
@@ -191,7 +201,12 @@ class AlphaMemory:
     def remove(self, tid: TupleId) -> MemoryEntry | None:
         """Discard the entry for a tuple id, returning it if present."""
         entry = self._entries.pop(tid, None)
-        if entry is not None and self._join_indexes:
+        if entry is not None:
+            stats = self.stats
+            if stats.enabled:
+                counters = stats.counters
+                counters["alpha.deletes"] = \
+                    counters.get("alpha.deletes", 0) + 1
             for position, buckets in self._join_indexes.items():
                 self._unindex(buckets, entry.values[position], tid)
         return entry
@@ -236,6 +251,11 @@ class AlphaMemory:
         the O(1) bucket lookup replacing the full-memory scan of the
         TREAT/Rete join step.  Only valid after :meth:`ensure_join_index`
         for that position."""
+        stats = self.stats
+        if stats.enabled:
+            counters = stats.counters
+            counters["alpha.join_probes"] = \
+                counters.get("alpha.join_probes", 0) + 1
         bucket = self._join_indexes[position].get(value)
         if not bucket:
             return iter(())
@@ -268,6 +288,10 @@ class VirtualAlphaMemory:
 
     is_virtual = True
 
+    #: engine counter registry (``virtual.*``); the owning network
+    #: replaces the shared disabled default with the Database's registry
+    stats = NULL_STATS
+
     def __init__(self, rule_name: str, spec: VariableSpec):
         self.rule_name = rule_name
         self.spec = spec
@@ -294,6 +318,11 @@ class VirtualAlphaMemory:
         scan.
         """
         self.scan_count += 1
+        stats = self.stats
+        if stats.enabled:
+            counters = stats.counters
+            counters["virtual.scans"] = \
+                counters.get("virtual.scans", 0) + 1
         relation = catalog.relation(self.spec.relation)
         matches = self.spec.selection_matches
         if equality is not None:

@@ -26,7 +26,7 @@ of the transition, so it names the *net* set of changed attributes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.schema import Schema
 from repro.core import tokens as tok

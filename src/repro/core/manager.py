@@ -11,11 +11,17 @@ manager keeps them separate operations:
   rule condition to load the P-node" (:meth:`RuleManager.activate`);
 * **token testing** — routing an update's tokens through the network
   (:meth:`RuleManager.process_token`).
+
+The manager also owns the **cascade guard**: every firing of one
+triggering transition is recorded in a trace, and exceeding
+``max_rule_cascade`` firings raises :class:`~repro.errors.RuleLoopError`
+naming the rules that kept re-firing — two mutually-triggering rules
+become a diagnosable error instead of an unbounded loop.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import Counter
 
 from repro.catalog.catalog import Catalog
 from repro.core.agenda import Agenda
@@ -25,9 +31,14 @@ from repro.core.rules import CompiledRule
 from repro.core.selection_index import SelectionIndex
 from repro.core.tokens import Token
 from repro.core.treat import TreatNetwork
-from repro.errors import RuleError
+from repro.errors import RuleError, RuleLoopError
 from repro.lang import ast_nodes as ast
+from repro.observe import EngineStats, NULL_STATS
 from repro.planner.optimizer import Optimizer
+
+#: how many trailing firings the cascade guard inspects when naming the
+#: rules caught in a loop
+_CASCADE_TAIL = 50
 
 
 class InstalledRule:
@@ -63,16 +74,25 @@ class RuleManager:
                  optimizer: Optimizer | None = None,
                  network_cls: type[DiscriminationNetwork] = TreatNetwork,
                  virtual_policy="auto",
-                 selection_index: SelectionIndex | None = None):
+                 selection_index: SelectionIndex | None = None,
+                 max_rule_cascade: int = 1000,
+                 stats: EngineStats | None = None):
         self.catalog = catalog
         self.optimizer = optimizer or Optimizer(catalog)
+        self.stats = stats or NULL_STATS
         self.agenda = Agenda()
+        self.agenda.stats = self.stats
         self.network = network_cls(
             catalog, self.optimizer,
             selection_index or SelectionIndex(),
             virtual_policy=virtual_policy,
-            on_match=self.agenda.notify)
+            on_match=self.agenda.notify,
+            stats=self.stats)
         self.halted = False
+        #: bound on firings per triggering transition (cascade guard)
+        self.max_rule_cascade = max_rule_cascade
+        #: rule names fired by the current cascade, in firing order
+        self._cascade_trace: list[str] = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -150,6 +170,41 @@ class RuleManager:
         processing completes."""
         self.network.flush_dynamic()
         self.halted = False
+
+    # ------------------------------------------------------------------
+    # the cascade guard
+    # ------------------------------------------------------------------
+
+    def begin_cascade(self) -> None:
+        """Reset the firing trace at the start of a triggering
+        transition's recognize-act cycle."""
+        self._cascade_trace.clear()
+
+    def note_firing(self, rule: CompiledRule) -> None:
+        """Record one firing of the current cascade; raises
+        :class:`~repro.errors.RuleLoopError` — naming the rules caught
+        in the loop — once the cascade exceeds ``max_rule_cascade``."""
+        trace = self._cascade_trace
+        trace.append(rule.name)
+        stats = self.stats
+        if stats.enabled:
+            stats.bump("rules.fired")
+            stats.observe_max("rules.max_cascade_depth", len(trace))
+        if len(trace) > self.max_rule_cascade:
+            cycling = ", ".join(self.cycling_rules())
+            raise RuleLoopError(
+                f"rule processing exceeded {self.max_rule_cascade} "
+                f"firings per transition; cycling rule(s): {cycling}")
+
+    def cycling_rules(self) -> list[str]:
+        """The rules that kept re-firing, from the trace tail: any rule
+        fired at least twice in the last {_CASCADE_TAIL} firings (every
+        participant of a mutual-trigger loop repeats there), else every
+        rule in the tail."""
+        tail = self._cascade_trace[-_CASCADE_TAIL:]
+        counts = Counter(tail)
+        cycling = sorted(name for name, n in counts.items() if n >= 2)
+        return cycling or sorted(set(tail))
 
     def halt(self) -> None:
         """An explicit ``halt`` executed in a rule action."""

@@ -37,6 +37,7 @@ from repro.core.selection_index import SelectionIndex
 from repro.core.tokens import Token, TokenKind
 from repro.errors import RuleError
 from repro.lang.expr import Bindings
+from repro.observe import EngineStats, NULL_STATS
 from repro.planner.optimizer import Optimizer
 
 #: "auto" virtual policy: make a pattern memory virtual when its selection
@@ -58,10 +59,15 @@ class DiscriminationNetwork:
                  optimizer: Optimizer | None = None,
                  selection_index: SelectionIndex | None = None,
                  virtual_policy: VirtualPolicy = "auto",
-                 on_match: Callable[[CompiledRule], None] | None = None):
+                 on_match: Callable[[CompiledRule], None] | None = None,
+                 stats: EngineStats | None = None):
         self.catalog = catalog
         self.optimizer = optimizer or Optimizer(catalog)
         self.selection_index = selection_index or SelectionIndex()
+        #: engine counter registry, shared with the selection index and
+        #: every memory / P-node built by :meth:`add_rule`
+        self.stats = stats or NULL_STATS
+        self.selection_index.stats = self.stats
         self.virtual_policy = virtual_policy
         self.on_match = on_match or (lambda rule: None)
         self.rules: dict[str, CompiledRule] = {}
@@ -88,11 +94,13 @@ class DiscriminationNetwork:
             raise RuleError(f"rule {rule.name!r} already in network")
         self.rules[rule.name] = rule
         pnode = self._pnodes[rule.name] = PNode(rule.name, rule.variables)
+        pnode.stats = self.stats
         for var in rule.variables:
             spec = rule.specs[var]
             memory = self._make_memory(rule, spec)
             memory.rule = rule
             memory.pnode = pnode
+            memory.stats = self.stats
             if memory.is_virtual:
                 self._virtual_count += 1
             self._memories[(rule.name, var)] = memory
@@ -189,15 +197,17 @@ class DiscriminationNetwork:
             rule.variables, rule.condition, rule.var_relations)
         pnode = self._pnodes[rule.name]
         ctx = _PrimeContext(self.catalog)
-        inserted = False
+        inserted = 0
         for bound in plan.rows(ctx, Bindings()):
             parts = {var: MemoryEntry(bound.tids[var], bound.current[var])
                      for var in rule.variables}
             self._stamp += 1
             if pnode.insert(Match.of(parts), self._stamp):
-                inserted = True
+                inserted += 1
         self._after_prime(rule)
         if inserted:
+            if self.stats.enabled:
+                self.stats.bump("pnode.inserts", inserted)
             self.on_match(rule)
 
     def _after_prime(self, rule: CompiledRule) -> None:
@@ -235,6 +245,10 @@ class DiscriminationNetwork:
             return
         self.batches_processed += 1
         self.tokens_processed += len(tokens)
+        stats = self.stats
+        if stats.enabled:
+            stats.bump("tokens.batches")
+            stats.bump("tokens.routed", len(tokens))
         # The overlay only matters to virtual-memory base-relation scans;
         # skip its per-token bookkeeping when no memory is virtual.
         track_overlay = self._virtual_count > 0
@@ -252,11 +266,22 @@ class DiscriminationNetwork:
                     process_one(token, batch)
         finally:
             self._batch = None
+            if stats.enabled:
+                if batch.memo_hits:
+                    stats.bump("selection.probe_memo_hits",
+                               batch.memo_hits)
+                if batch.pnode_inserts:
+                    stats.bump("pnode.inserts", batch.pnode_inserts)
 
     def _process_one(self, token: Token,
                      batch: _BatchState | None) -> None:
         if batch is None:
             self.tokens_processed += 1
+            stats = self.stats
+            if stats.enabled:
+                counters = stats.counters
+                counters["tokens.routed"] = \
+                    counters.get("tokens.routed", 0) + 1
             candidates = self._sorted_probe(token, None)
         else:
             # Key on the anchored attribute values only: tuples differing
@@ -274,6 +299,8 @@ class DiscriminationNetwork:
             if candidates is None:
                 candidates = batch.probe_cache[probe_key] = \
                     self._sorted_probe(token, batch.stab_cache)
+            else:
+                batch.memo_hits += 1
         # The ProcessedMemories bookkeeping only matters when this token
         # reaches more than one memory; the common single-candidate case
         # skips it entirely.
@@ -349,6 +376,10 @@ class DiscriminationNetwork:
                 self._stamp += 1
                 if memory.pnode.insert(Match(((spec.var, entry),)),
                                        self._stamp):
+                    if batch is not None:
+                        batch.pnode_inserts += 1
+                    elif self.stats.enabled:
+                        self.stats.bump("pnode.inserts")
                     self.on_match(rule)
                 continue
             self._handle_insert(rule, spec, memory, entry,
@@ -503,12 +534,18 @@ class _BatchState:
     """
 
     __slots__ = ("probe_cache", "stab_cache", "residual_cache",
-                 "_remaining", "_overlay")
+                 "memo_hits", "pnode_inserts", "_remaining", "_overlay")
 
     def __init__(self, tokens: Sequence[Token], track_overlay: bool = True):
         self.probe_cache: dict = {}
         self.stab_cache: dict = {}
         self.residual_cache: dict = {}
+        #: probe-cache hits and P-node insertions, aggregated into
+        #: ``selection.probe_memo_hits`` / ``pnode.inserts`` once per
+        #: batch — a per-event EngineStats.bump() would dominate the
+        #: counter overhead budget on large batches
+        self.memo_hits = 0
+        self.pnode_inserts = 0
         if not track_overlay:
             self._remaining = None
             self._overlay = None

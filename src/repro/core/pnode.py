@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.core.alpha import MemoryEntry
 from repro.lang.expr import Bindings
+from repro.observe import NULL_STATS
 from repro.storage.tuples import TupleId
 
 
@@ -61,6 +62,10 @@ def _first(pair):
 class PNode:
     """The temporary relation of matches for one rule."""
 
+    #: engine counter registry (``pnode.*``); the owning network replaces
+    #: the shared disabled default with the Database's registry
+    stats = NULL_STATS
+
     def __init__(self, rule_name: str, variables: list[str]):
         self.rule_name = rule_name
         self.variables = list(variables)
@@ -72,7 +77,12 @@ class PNode:
     # ------------------------------------------------------------------
 
     def insert(self, match: Match, stamp: int = 0) -> bool:
-        """Add a match; returns False if an identical binding existed."""
+        """Add a match; returns False if an identical binding existed.
+
+        Callers own the ``pnode.inserts`` counter (batched routing
+        aggregates it per batch); this method stays bump-free so the hot
+        path pays nothing per match.
+        """
         bindings = match.bindings
         if len(bindings) == 1:
             key: tuple = (bindings[0][1].tid,)
@@ -93,6 +103,8 @@ class PNode:
                   if match.involves_tid(tid)]
         for key in doomed:
             del self._matches[key]
+        if doomed and self.stats.enabled:
+            self.stats.bump("pnode.deletes", len(doomed))
         return len(doomed)
 
     def matches(self) -> list[Match]:

@@ -141,8 +141,14 @@ class ReteNetwork(DiscriminationNetwork):
         if level + 1 == len(state.order):
             self._stamp += 1
             if self._pnodes[rule.name].insert(Match.of(dict(partial)),
-                                              self._stamp) and emit:
-                self.on_match(rule)
+                                              self._stamp):
+                batch = self._batch
+                if batch is not None:
+                    batch.pnode_inserts += 1
+                elif self.stats.enabled:
+                    self.stats.bump("pnode.inserts")
+                if emit:
+                    self.on_match(rule)
             return
         next_var = state.order[level + 1]
         conjuncts = state.level_conjuncts[level + 1]

@@ -13,10 +13,10 @@ the rule catalog for display, exactly as in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.catalog.catalog import Catalog
-from repro.errors import RuleError, SemanticError
+from repro.errors import RuleError
 from repro.lang import ast_nodes as ast
 from repro.lang.expr import (
     Bindings, attr_positions_of, compile_expr, previous_variables_of,

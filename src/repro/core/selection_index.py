@@ -33,6 +33,7 @@ from typing import Callable, Hashable, Iterable
 from repro.intervals.interval import Interval
 from repro.intervals.skiplist import IntervalSkipList
 from repro.lang.predicates import AttrInterval
+from repro.observe import NULL_STATS
 
 
 class LinearIntervalIndex:
@@ -75,6 +76,10 @@ class _AttrIndex:
 
 class SelectionIndex:
     """Routes tuple values to the α-memories whose anchors they satisfy."""
+
+    #: engine counter registry (``selection.*``); the owning network
+    #: replaces the shared disabled default with the Database's registry
+    stats = NULL_STATS
 
     def __init__(self, index_factory: Callable[[], object] | None = None):
         self._factory = index_factory or IntervalSkipList
@@ -182,6 +187,11 @@ class SelectionIndex:
 
     def _probe(self, relation: str, values: tuple,
                stab_cache: dict | None) -> list:
+        stats = self.stats
+        if stats.enabled:
+            counters = stats.counters
+            counters["selection.probes"] = \
+                counters.get("selection.probes", 0) + 1
         attr_indexes = self._relations.get(relation)
         unanchored = self._unanchored.get(relation)
         if not attr_indexes:
@@ -202,6 +212,10 @@ class SelectionIndex:
                 if refs is None:
                     refs = stab_cache[cache_key] = \
                         slot.index.stab_payloads(value)
+                elif stats.enabled:
+                    counters = stats.counters
+                    counters["selection.stab_memo_hits"] = \
+                        counters.get("selection.stab_memo_hits", 0) + 1
             for ref in refs:
                 out.append(ref.target)
         if unanchored:

@@ -15,7 +15,7 @@ processing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.pnode import FrozenMatches

@@ -27,7 +27,7 @@ number of times".
 
 from __future__ import annotations
 
-from repro.core.alpha import MemoryEntry, VirtualAlphaMemory
+from repro.core.alpha import MemoryEntry
 from repro.core.network import DiscriminationNetwork, equality_constraint
 from repro.core.pnode import Match
 from repro.core.rules import CompiledRule, JoinConjunct, VariableSpec
@@ -58,6 +58,10 @@ class TreatNetwork(DiscriminationNetwork):
               seed_entry: MemoryEntry, pending_vars: set[str],
               token: Token) -> None:
         """Find every new complete combination seeded by one entry."""
+        stats = self.stats
+        if stats.enabled:
+            counters = stats.counters
+            counters["joins.seeks"] = counters.get("joins.seeks", 0) + 1
         order = rule.join_order_from(seed_var)
         partial: dict[str, MemoryEntry] = {seed_var: seed_entry}
         bindings = Bindings()
@@ -72,8 +76,15 @@ class TreatNetwork(DiscriminationNetwork):
                 pending_vars: set[str], token: Token) -> bool:
         if depth == len(order):
             self._stamp += 1
-            return self._pnodes[rule.name].insert(
-                Match.of(dict(partial)), self._stamp)
+            if not self._pnodes[rule.name].insert(
+                    Match.of(dict(partial)), self._stamp):
+                return False
+            batch = self._batch
+            if batch is not None:
+                batch.pnode_inserts += 1
+            elif self.stats.enabled:
+                self.stats.bump("pnode.inserts")
+            return True
         var = order[depth]
         bound = set(partial) | {var}
         conjuncts = [j for j in rule.joins

@@ -20,6 +20,8 @@ Typical use::
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
@@ -33,14 +35,15 @@ from repro.core.rules import CompiledRule
 from repro.core.selection_index import SelectionIndex
 from repro.core.treat import TreatNetwork
 from repro.errors import (
-    ArielError, ExecutionError, RuleLoopError, TransactionError)
+    ArielError, ExecutionError, TransactionError)
 from repro.executor.executor import (
     DmlResult, ExecutionContext, Executor, ResultSet)
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_command, parse_script
 from repro.lang.semantic import SemanticAnalyzer
-from repro.planner.optimizer import Optimizer
-from repro.planner.plans import explain as explain_plan
+from repro.observe import EngineStats, TraceHub
+from repro.planner.optimizer import Optimizer, PlannedCommand
+from repro.planner.plans import explain as explain_plan, instrument
 from repro.prepared import Prepared, StatementCache, is_cacheable
 from repro.txn.transitions import TransitionHooks
 from repro.txn.undo import UndoLog
@@ -111,12 +114,18 @@ class Database:
             raise ArielError(
                 f"unknown network {network!r}; expected one of "
                 f"{sorted(_NETWORKS)}") from None
+        #: engine counter registry (see :mod:`repro.observe`); set
+        #: ``stats.enabled = False`` to make every bump a no-op
+        self.stats = EngineStats()
+        #: trace-hook hub for engine events; see :meth:`on_event`
+        self.trace = TraceHub()
         self.catalog = Catalog()
         self.analyzer = SemanticAnalyzer(self.catalog)
         self.optimizer = Optimizer(self.catalog)
         self.manager = RuleManager(
             self.catalog, self.optimizer, network_cls,
-            virtual_policy or default_policy, selection_index)
+            virtual_policy or default_policy, selection_index,
+            max_rule_cascade=max_firings, stats=self.stats)
         self.deltasets = DeltaSets()
         self.undo = UndoLog()
         self.hooks = TransitionHooks(self.catalog, self.deltasets,
@@ -124,11 +133,12 @@ class Database:
                                      route_tokens=self.manager
                                      .process_tokens,
                                      defer_routing=batch_tokens)
+        self.hooks.stats = self.stats
+        self.hooks.trace = self.trace
         self.context = ExecutionContext(self.catalog, self.hooks)
         self.executor = Executor(self.context, self.optimizer)
         self.action_planner = ActionPlanner(self.catalog, self.optimizer,
                                             cache_action_plans)
-        self.max_firings = max_firings
         #: rule firings since construction (diagnostics)
         self.firings = 0
         #: trace of every firing, newest last (clear with
@@ -139,11 +149,23 @@ class Database:
         #: future work); see :meth:`subscribe`
         self.subscriptions = SubscriptionHub()
         #: transparent LRU of plans for repeated ad-hoc DML text
-        self.statement_cache = StatementCache(statement_cache_size)
+        self.statement_cache = StatementCache(statement_cache_size,
+                                              stats=self.stats)
         self._cycle_running = False
         self._rules_suspended = False
         self._in_transaction = False
+        self._implicit_scope = False
         self._pnode_snapshots = None
+
+    @property
+    def max_firings(self) -> int:
+        """Bound on rule firings per transition (delegates to the
+        manager's cascade guard)."""
+        return self.manager.max_rule_cascade
+
+    @max_firings.setter
+    def max_firings(self, value: int) -> None:
+        self.manager.max_rule_cascade = value
 
     # ------------------------------------------------------------------
     # command execution
@@ -200,24 +222,72 @@ class Database:
             raise ExecutionError("query() expects a retrieve command")
         return result
 
-    def explain(self, text: str) -> str:
+    def explain(self, text: str, analyze: bool = False) -> str:
         """The physical plan the optimizer picks for a data command.
+
+        With ``analyze=True`` (or when ``text`` itself reads ``explain
+        analyze <command>``) the command is *executed* — including any
+        rule cascade it triggers — and every plan operator is annotated
+        with its observed row counts, loop count and wall time.
 
         Cacheable commands route through the same statement cache as
         :meth:`execute`, so the output always reflects what a cached
         execution would actually run — after DDL, the version check
-        re-plans and explain shows the new access path.
+        re-plans and explain shows the new access path.  Analyzed runs
+        never enter the statement cache: instrumentation wrappers must
+        not leak into ordinary executions.
         """
-        cached = self.statement_cache.lookup(text)
-        if cached is not None:
-            return cached.explain()
+        if not analyze:
+            cached = self.statement_cache.lookup(text)
+            if cached is not None:
+                return cached.explain()
         command = self.analyzer.analyze(parse_command(text))
+        if isinstance(command, ast.Explain):
+            return self._run_explain(command)
+        if analyze:
+            return self._explain_analyze(command)
         if is_cacheable(command) and self.statement_cache.capacity > 0:
             prepared = Prepared(self, text, command=command)
             self.statement_cache.store(text, prepared)
             return prepared.explain()
         planned = self.optimizer.plan_command(command)
         return explain_plan(planned.plan)
+
+    def _run_explain(self, command: ast.Explain):
+        """Dispatch target for a parsed ``explain [analyze]`` command."""
+        if command.analyze:
+            return self._explain_analyze(command.command)
+        planned = self.optimizer.plan_command(command.command)
+        return explain_plan(planned.plan)
+
+    def _explain_analyze(self, command: ast.Command) -> str:
+        """Execute ``command`` with an instrumented plan and render the
+        annotated operator tree (rows in/out, loops, per-node time).
+
+        The command really runs — heap mutations, token routing and any
+        triggered rule cascade included — inside the usual undo-backed
+        recovery scope.  The instrumented plan is built fresh and never
+        stored, so caches keep serving unwrapped plans.
+        """
+        planned = self.optimizer.plan_command(command)
+        root = instrument(planned.plan)
+        analyzed = PlannedCommand(planned.command, root, planned.scope)
+        start = time.perf_counter()
+        with self._recovery_scope():
+            result = self.executor.run(analyzed)
+            self._note_plan_executed(analyzed)
+            self.hooks.flush_tokens()
+            self.deltasets.clear()
+            self._run_rule_cycle()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        if isinstance(result, ResultSet):
+            summary = f"{len(result)} row(s)"
+        elif isinstance(result, DmlResult):
+            summary = f"{result.count} tuple(s) affected"
+        else:
+            summary = "ok"
+        return (f"{explain_plan(root)}\n"
+                f"Total: {summary} in {elapsed_ms:.3f} ms")
 
     # ------------------------------------------------------------------
     # transactions
@@ -259,15 +329,7 @@ class Database:
         self._in_transaction = False
         self._rules_suspended = True
         try:
-            for record in self.undo.take_reversed():
-                if record.op == "insert":
-                    self.hooks.delete(record.relation, record.tid)
-                elif record.op == "delete":
-                    self.hooks.restore(record.relation, record.tid,
-                                       record.before)
-                else:
-                    self.hooks.replace(record.relation, record.tid,
-                                       record.before)
+            self._replay_undo()
             self.hooks.flush_tokens()
             self.deltasets.clear()
             self.manager.end_of_rule_processing()
@@ -280,6 +342,61 @@ class Database:
             self._pnode_snapshots = None
         finally:
             self._rules_suspended = False
+
+    def _replay_undo(self) -> None:
+        """Replay the undo log's inverses through the transition hooks,
+        so the discrimination network tracks the heap exactly."""
+        for record in self.undo.take_reversed():
+            if record.op == "insert":
+                self.hooks.delete(record.relation, record.tid)
+            elif record.op == "delete":
+                self.hooks.restore(record.relation, record.tid,
+                                   record.before)
+            else:
+                self.hooks.replace(record.relation, record.tid,
+                                   record.before)
+
+    @contextmanager
+    def _recovery_scope(self):
+        """Consistency recovery around one implicit (auto-commit)
+        transition.
+
+        An exception raised mid-transition — a failing command, a
+        failing rule action, or the cascade guard tripping — must not
+        leave the α-memories and P-nodes inconsistent with the heap.
+        Completed effects persist (transitions are not atomic outside
+        explicit transactions — the triggering tuple of a failed rule
+        action stays inserted), so recovery here means *settling*:
+        route whatever tokens are still buffered so the network catches
+        up with the heap, then clear per-transition state.  The failing
+        action's own partial effects are rolled back by the per-firing
+        undo scope in :meth:`_fire` before this scope ever sees the
+        exception.  Inside an explicit transaction the caller owns
+        recovery via :meth:`abort` instead.
+        """
+        if self._in_transaction or self._implicit_scope:
+            yield
+            return
+        self._implicit_scope = True
+        try:
+            yield
+        except BaseException:
+            self._settle_after_error()
+            raise
+        finally:
+            self._implicit_scope = False
+
+    def _settle_after_error(self) -> None:
+        """Bring the network back in step with the heap after a failed
+        implicit transition (see :meth:`_recovery_scope`)."""
+        suspended = self._rules_suspended
+        self._rules_suspended = True
+        try:
+            self.hooks.flush_tokens()
+            self.deltasets.clear()
+            self.manager.end_of_rule_processing()
+        finally:
+            self._rules_suspended = suspended
 
     # ------------------------------------------------------------------
     # dispatch
@@ -309,7 +426,8 @@ class Database:
             self.manager.define(command, activate=True)
             # Priming may have matched existing data; give the rule the
             # opportunity to run, as after any transition.
-            self._run_rule_cycle()
+            with self._recovery_scope():
+                self._run_rule_cycle()
             return None
         if isinstance(command, ast.RemoveRule):
             self.manager.remove(command.name)
@@ -317,11 +435,14 @@ class Database:
             return None
         if isinstance(command, ast.ActivateRule):
             self.manager.activate(command.name)
-            self._run_rule_cycle()
+            with self._recovery_scope():
+                self._run_rule_cycle()
             return None
         if isinstance(command, ast.DeactivateRule):
             self.manager.deactivate(command.name)
             return None
+        if isinstance(command, ast.Explain):
+            return self._run_explain(command)
         if isinstance(command, ast.Halt):
             raise ExecutionError(
                 "halt is only meaningful inside a rule action")
@@ -336,21 +457,25 @@ class Database:
     def _run_transition(self, commands: list[ast.Command]):
         """Execute commands as one transition, then let rules wake up."""
         result = None
-        for command in commands:
-            planned = self.optimizer.plan_command(command)
-            result = self.executor.run(planned)
-        self.hooks.flush_tokens()
-        self.deltasets.clear()
-        self._run_rule_cycle()
+        with self._recovery_scope():
+            for command in commands:
+                planned = self.optimizer.plan_command(command)
+                result = self.executor.run(planned)
+                self._note_plan_executed(planned)
+            self.hooks.flush_tokens()
+            self.deltasets.clear()
+            self._run_rule_cycle()
         return result
 
     def _execute_planned(self, planned, params: dict[str, object] | None):
         """Run a cached plan as one transition (the prepared-statement
         execution path: no parse/analyze/plan work)."""
-        result = self.executor.run(planned, params)
-        self.hooks.flush_tokens()
-        self.deltasets.clear()
-        self._run_rule_cycle()
+        with self._recovery_scope():
+            result = self.executor.run(planned, params)
+            self._note_plan_executed(planned)
+            self.hooks.flush_tokens()
+            self.deltasets.clear()
+            self._run_rule_cycle()
         return result
 
     def bulk_append(self, relation: str, rows) -> int:
@@ -358,28 +483,30 @@ class Database:
         Δ-set through the discrimination network as a single batch (the
         set-oriented fast path; values are coerced like ``append``).
         Returns the number of tuples inserted."""
-        tids = self.hooks.insert_many(relation, rows)
-        self.hooks.flush_tokens()
-        self.deltasets.clear()
-        self._run_rule_cycle()
+        with self._recovery_scope():
+            tids = self.hooks.insert_many(relation, rows)
+            self.hooks.flush_tokens()
+            self.deltasets.clear()
+            self._run_rule_cycle()
         return len(tids)
 
     def _run_rule_cycle(self) -> None:
-        """The recognize-act cycle of paper Figure 1."""
+        """The recognize-act cycle of paper Figure 1.
+
+        The per-transition firing bound lives in the manager's cascade
+        guard (:meth:`RuleManager.note_firing`), which on breach raises
+        :class:`~repro.errors.RuleLoopError` naming the cycling rules.
+        """
         if self._cycle_running or self._rules_suspended:
             return
         self._cycle_running = True
+        self.manager.begin_cascade()
         try:
-            firings = 0
             while not self.manager.halted:
                 rule = self.manager.select_rule()
                 if rule is None:
                     break
-                firings += 1
-                if firings > self.max_firings:
-                    raise RuleLoopError(
-                        f"rule processing exceeded {self.max_firings} "
-                        f"firings (last rule: {rule.name!r})")
+                self.manager.note_firing(rule)
                 self._fire(rule)
             self.manager.end_of_rule_processing()
         finally:
@@ -398,16 +525,60 @@ class Database:
         if self.trace_firings:
             self.firing_log.append(FiringRecord(
                 self.firings, rule.name, rule.priority, len(matches)))
+        if self.trace.wants("rule_fired"):
+            self.trace.emit("rule_fired", {
+                "sequence": self.firings,
+                "rule": rule.name,
+                "priority": rule.priority,
+                "matches": len(matches),
+            })
         if self.subscriptions.active:
             self.subscriptions.record_firing(self.firings, rule.name,
                                              matches)
-        for action in self.action_planner.plan_firing(rule, matches):
-            if action.is_halt:
-                self.manager.halt()
-                break
-            self.executor.run(action.planned)
+        # Undo-backed recovery: outside an explicit transaction (where
+        # the transaction's own undo log already covers the action and
+        # abort() replays it), record this firing's mutations so a
+        # failing action can be rolled back without leaving half its
+        # effects in the heap or the network.
+        undo_scope = not self._in_transaction
+        if undo_scope:
+            self.undo.begin()
+        try:
+            for action in self.action_planner.plan_firing(rule, matches):
+                if action.is_halt:
+                    self.manager.halt()
+                    break
+                self.executor.run(action.planned)
+                self._note_plan_executed(action.planned, rule=rule.name)
+            self.hooks.flush_tokens()
+            self.deltasets.clear()
+        except BaseException:
+            if undo_scope:
+                self._recover_firing()
+            raise
+        else:
+            if undo_scope:
+                self.undo.commit()
+
+    def _recover_firing(self) -> None:
+        """Roll back a failed rule action (see :meth:`_fire`): route the
+        partial action's buffered tokens, replay its undo records
+        through the hooks (keeping α-memories and P-nodes in step with
+        the heap), and route the inverses too."""
+        self.hooks.flush_tokens()
+        self._replay_undo()
         self.hooks.flush_tokens()
         self.deltasets.clear()
+
+    def _note_plan_executed(self, planned, rule: str | None = None) -> None:
+        """Count (and, when traced, announce) one executed plan."""
+        if self.stats.enabled:
+            self.stats.bump("plans.executed")
+        if self.trace.wants("plan_executed"):
+            payload = {"command": type(planned.command).__name__}
+            if rule is not None:
+                payload["rule"] = rule
+            self.trace.emit("plan_executed", payload)
 
     # ------------------------------------------------------------------
     # trigger delivery (paper §8 future work)
@@ -423,6 +594,23 @@ class Database:
     def unsubscribe(self, token: int) -> bool:
         """Cancel a subscription made with :meth:`subscribe`."""
         return self.subscriptions.unsubscribe(token)
+
+    # ------------------------------------------------------------------
+    # trace hooks
+    # ------------------------------------------------------------------
+
+    def on_event(self, callback, events=None) -> int:
+        """Register ``callback(event, payload)`` for engine trace
+        events — ``"rule_fired"``, ``"token_routed"`` and
+        ``"plan_executed"`` (all of them when ``events`` is None; a
+        single name or an iterable of names otherwise).  Returns a
+        token for :meth:`off_event`.  Unlike :meth:`subscribe`, trace
+        callbacks run synchronously at the point the event happens."""
+        return self.trace.on(callback, events)
+
+    def off_event(self, token: int) -> bool:
+        """Remove a trace callback registered with :meth:`on_event`."""
+        return self.trace.off(token)
 
     # ------------------------------------------------------------------
     # introspection

@@ -21,10 +21,10 @@ update processing" (paper abstract).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.schema import AttributeType, Schema
+from repro.catalog.schema import Schema
 from repro.errors import ExecutionError
 from repro.lang import ast_nodes as ast
 from repro.lang.expr import Bindings, compile_expr

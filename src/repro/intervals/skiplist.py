@@ -27,7 +27,6 @@ is immaterial at the rule counts the paper evaluates (25–200).
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Hashable, Iterable
 

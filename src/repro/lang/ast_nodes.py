@@ -326,10 +326,20 @@ class Halt(Command):
     """``halt`` — stop the recognize-act cycle (paper Figure 1)."""
 
 
+@dataclass
+class Explain(Command):
+    """``explain [analyze] <command>`` — show (and with ``analyze``,
+    execute and profile) a data command's physical plan."""
+
+    command: Command
+    analyze: bool = False
+
+
 CommandNode = Union[
     CreateRelation, DestroyRelation, DefineIndex, RemoveIndex,
     Append, Delete, Replace, Retrieve, Block,
     DefineRule, RemoveRule, ActivateRule, DeactivateRule, Halt,
+    Explain,
 ]
 
 
@@ -576,3 +586,7 @@ class _Deparser:
 
     def _render_Halt(self, node: Halt) -> str:
         return "halt"
+
+    def _render_Explain(self, node: Explain) -> str:
+        analyze = " analyze" if node.analyze else ""
+        return f"explain{analyze} {self.render(node.command)}"

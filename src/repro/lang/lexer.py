@@ -18,7 +18,7 @@ KEYWORDS = frozenset({
     "index", "on", "if", "then", "priority", "do", "end", "using",
     "and", "or", "not", "previous", "new", "true", "false", "null",
     "activate", "deactivate", "halt", "sort", "by", "asc", "desc",
-    "unique",
+    "unique", "explain", "analyze", "inf", "nan",
 })
 
 #: multi-character operators first so maximal munch applies

@@ -128,6 +128,7 @@ class Parser:
             "activate": self._activate,
             "deactivate": self._deactivate,
             "halt": self._halt,
+            "explain": self._explain,
         }
         handler = handlers.get(token.value)
         if handler is None:
@@ -153,6 +154,11 @@ class Parser:
     def _destroy(self) -> ast.DestroyRelation:
         self._expect_keyword("destroy")
         return ast.DestroyRelation(self._name())
+
+    def _explain(self) -> ast.Explain:
+        self._expect_keyword("explain")
+        analyze = bool(self._accept("keyword", "analyze"))
+        return ast.Explain(self._command(), analyze)
 
     def _define(self) -> ast.Command:
         self._expect_keyword("define")
@@ -468,6 +474,13 @@ class Parser:
             return ast.Const(False)
         if self._accept("keyword", "null"):
             return ast.Const(None)
+        # inf/nan are literals unless used as a tuple variable (inf.attr)
+        for word, literal in (("inf", float("inf")), ("nan", float("nan"))):
+            if self._check("keyword", word) and not (
+                    self._peek(1).kind == "op"
+                    and self._peek(1).value == "."):
+                self._advance()
+                return ast.Const(literal)
         if self._accept("op", "("):
             expr = self._expr()
             self._expect("op", ")")

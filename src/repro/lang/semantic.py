@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.schema import AttributeType, Schema
+from repro.catalog.schema import AttributeType
 from repro.errors import SemanticError
 from repro.lang import ast_nodes as ast
 
@@ -125,11 +125,22 @@ class SemanticAnalyzer:
         relation = self.catalog.relation(cmd.relation)
         relation.schema.position(cmd.attribute)
         if cmd.kind not in ("btree", "hash"):
-            raise SemanticError(f"unknown index kind {cmd.kind!r}")
+            raise SemanticError(
+                f"unknown index kind {cmd.kind!r}; "
+                f"accepted kinds: btree, hash")
 
     def _analyze_RemoveIndex(self, cmd: ast.RemoveIndex,
                              outer: Scope) -> None:
         self.catalog.index_info(cmd.name)
+
+    def _analyze_Explain(self, cmd: ast.Explain, outer: Scope) -> None:
+        if not isinstance(cmd.command, (ast.Retrieve, ast.Append,
+                                        ast.Delete, ast.Replace)):
+            raise SemanticError(
+                "explain expects a data command "
+                "(retrieve/append/delete/replace), not "
+                f"{type(cmd.command).__name__}")
+        self.analyze(cmd.command, outer)
 
     # ------------------------------------------------------------------
     # DML

@@ -20,7 +20,6 @@ import io
 import math
 import pathlib
 
-from repro.core.manager import InstalledRule
 from repro.db import Database
 from repro.errors import ArielError
 from repro.lang.ast_nodes import deparse
@@ -106,9 +105,13 @@ def _literal(value) -> str:
                        .replace("\n", "\\n").replace("\t", "\\t")
         return f'"{escaped}"'
     if isinstance(value, float):
-        if not math.isfinite(value):
-            raise ArielError(
-                f"cannot serialise non-finite float {value!r}")
+        # repr round-trips exactly, including the non-finite values:
+        # repr(inf) == 'inf' and repr(nan) == 'nan' are literals the
+        # language accepts, and repr(-inf) folds back via unary minus.
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
         return repr(value)
     if isinstance(value, int):
         return repr(value)

@@ -12,10 +12,17 @@ section 5.2.
 Operators are parameterised: ``rows(ctx, outer)`` streams results given
 outer bindings, so an :class:`IndexProbe` under a :class:`NestedLoopJoin`
 is an index nested-loop join with no special casing.
+
+``explain analyze`` support lives here too: :func:`instrument` shallow-
+copies a plan tree and wraps every node in an :class:`AnalyzedPlan` that
+records rows produced, loop (re-execution) count and wall time, without
+touching the original (possibly cached) plan.
 """
 
 from __future__ import annotations
 
+import copy
+import time
 from typing import Iterator
 
 from repro.errors import PlanError
@@ -38,6 +45,10 @@ class Plan:
 
     #: tuple variables this plan binds
     vars: frozenset[str] = frozenset()
+
+    #: attribute names holding child plans, in :meth:`children` order —
+    #: what :func:`instrument` rewrites when wrapping a tree
+    child_attrs: tuple[str, ...] = ()
 
     def rows(self, ctx, outer: Bindings,
              reuse: bool = False) -> Iterator[Bindings]:
@@ -251,6 +262,8 @@ class PnodeScan(Plan):
 class FilterPlan(Plan):
     """Apply a predicate to child rows (non-pushable conjuncts)."""
 
+    child_attrs = ("child",)
+
     def __init__(self, child: Plan, predicate: ast.Expr):
         self.child = child
         self.predicate_expr = predicate
@@ -277,6 +290,8 @@ class NestedLoopJoin(Plan):
     With an :class:`IndexProbe` inner this is an index nested-loop join;
     with a scan inner it is the plain nested loop of paper Figure 8.
     """
+
+    child_attrs = ("outer", "inner")
 
     def __init__(self, outer: Plan, inner: Plan,
                  predicate: ast.Expr | None = None):
@@ -313,6 +328,8 @@ class HashJoin(Plan):
     Null keys never join (SQL semantics).  ``residual`` evaluates any
     extra join conjuncts on matched pairs.
     """
+
+    child_attrs = ("left", "right")
 
     def __init__(self, left: Plan, right: Plan,
                  left_keys: list[ast.Expr], right_keys: list[ast.Expr],
@@ -377,6 +394,8 @@ class SortMergeJoin(Plan):
     SortMergeJoin instead of NestedLoopJoin in Figure 8"); the optimizer
     picks it when both inputs are large and no index applies.
     """
+
+    child_attrs = ("left", "right")
 
     def __init__(self, left: Plan, right: Plan,
                  left_key: ast.Expr, right_key: ast.Expr,
@@ -464,6 +483,73 @@ class SingletonPlan(Plan):
 
     def label(self) -> str:
         return "Singleton"
+
+
+class AnalyzedPlan(Plan):
+    """Instrumenting wrapper around one plan node (``explain analyze``).
+
+    Counts loops (how often the node was (re-)executed — the inner side
+    of a nested-loop join runs once per outer row), rows produced, and
+    wall time.  Timing brackets each ``next()`` on the wrapped iterator,
+    so a node's time *includes* its children (as in PostgreSQL's EXPLAIN
+    ANALYZE) but excludes time the consumer spends on each row.
+    """
+
+    def __init__(self, node: Plan, children: list["AnalyzedPlan"]):
+        self.node = node
+        self._children = tuple(children)
+        self.vars = node.vars
+        self.loops = 0
+        self.rows_out = 0
+        self.seconds = 0.0
+
+    def rows(self, ctx, outer: Bindings,
+             reuse: bool = False) -> Iterator[Bindings]:
+        self.loops += 1
+        iterator = self.node.rows(ctx, outer, reuse)
+        perf_counter = time.perf_counter
+        while True:
+            start = perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                self.seconds += perf_counter() - start
+                return
+            self.seconds += perf_counter() - start
+            self.rows_out += 1
+            yield row
+
+    def rows_in(self) -> int:
+        """Rows the node consumed: the sum of its children's output."""
+        return sum(child.rows_out for child in self._children)
+
+    def label(self) -> str:
+        parts = []
+        if self._children:
+            parts.append(f"rows_in={self.rows_in()}")
+        parts.append(f"rows={self.rows_out}")
+        parts.append(f"loops={self.loops}")
+        parts.append(f"time={self.seconds * 1000.0:.3f}ms")
+        return f"{self.node.label()} ({' '.join(parts)})"
+
+    def children(self) -> tuple[Plan, ...]:
+        return self._children
+
+
+def instrument(plan: Plan) -> AnalyzedPlan:
+    """Wrap every node of a plan tree in an :class:`AnalyzedPlan`.
+
+    The tree is rebuilt from shallow copies with child attributes
+    rewritten to the wrapped children, so the original plan — which may
+    live in a statement cache — is never mutated and records nothing.
+    """
+    node = copy.copy(plan)
+    wrapped_children = []
+    for attr in plan.child_attrs:
+        wrapped = instrument(getattr(plan, attr))
+        setattr(node, attr, wrapped)
+        wrapped_children.append(wrapped)
+    return AnalyzedPlan(node, wrapped_children)
 
 
 def explain(plan: Plan, indent: int = 0) -> str:

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from repro.catalog.catalog import Catalog
 from repro.lang import ast_nodes as ast
-from repro.lang.expr import variables_of
 from repro.lang.predicates import (
     equijoin_of_conjunct, interval_of_conjunct, param_bound_of_conjunct)
 from repro.intervals.interval import NEG_INF, POS_INF

@@ -28,6 +28,7 @@ from collections import OrderedDict
 from repro.errors import ExecutionError
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_command
+from repro.observe import NULL_STATS
 
 
 def is_cacheable(command: ast.Command) -> bool:
@@ -82,6 +83,8 @@ class Prepared:
             self._planned = self.db.optimizer.plan_command(command)
             self._version = self.db.catalog.version
             self.replans += 1
+            getattr(self.db, "stats", NULL_STATS).bump(
+                "plan_cache.replans")
         return self._planned
 
     def execute(self, **params):
@@ -107,6 +110,8 @@ class Prepared:
                    if self.signature else "no parameters"))
         planned = self.current_plan()
         self.executions += 1
+        getattr(self.db, "stats", NULL_STATS).bump(
+            "plan_cache.executions")
         return self.db._execute_planned(planned, params)
 
     def explain(self) -> str:
@@ -128,19 +133,23 @@ class StatementCache:
     memory bound, never a correctness mechanism.
     """
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128, stats=None):
         self.capacity = capacity
         self._entries: "OrderedDict[str, Prepared]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: engine counter registry (``stmt_cache.*``)
+        self.stats = stats or NULL_STATS
 
     def lookup(self, text: str) -> Prepared | None:
         entry = self._entries.get(text)
         if entry is None:
             self.misses += 1
+            self.stats.bump("stmt_cache.misses")
             return None
         self._entries.move_to_end(text)
         self.hits += 1
+        self.stats.bump("stmt_cache.hits")
         return entry
 
     def store(self, text: str, prepared: Prepared) -> None:

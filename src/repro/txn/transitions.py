@@ -26,12 +26,19 @@ from repro.catalog.catalog import Catalog
 from repro.core.deltasets import DeltaSets
 from repro.core.tokens import Token
 from repro.executor.executor import MutationHooks
+from repro.observe import NULL_STATS
 from repro.storage.tuples import TupleId
 from repro.txn.undo import UndoLog
 
 
 class TransitionHooks(MutationHooks):
     """Heap mutation + undo logging + Δ-sets + token routing."""
+
+    #: engine counter registry (``tokens.generated``); the Database
+    #: replaces the shared disabled default with its registry
+    stats = NULL_STATS
+    #: trace hub for ``token_routed`` events (set by the Database)
+    trace = None
 
     def __init__(self, catalog: Catalog, deltasets: DeltaSets,
                  route_token: Callable[[Token], None],
@@ -137,12 +144,23 @@ class TransitionHooks(MutationHooks):
         if not tokens:
             return
         self.tokens_generated += len(tokens)
+        if self.stats.enabled:
+            self.stats.bump("tokens.generated", len(tokens))
         if self.defer_routing:
             self._buffer.extend(tokens)
             return
         self._dispatch(tokens)
 
     def _dispatch(self, tokens: list[Token]) -> None:
+        trace = self.trace
+        if trace is not None and trace.wants("token_routed"):
+            for token in tokens:
+                trace.emit("token_routed", {
+                    "relation": token.relation,
+                    "kind": token.kind.name,
+                    "tid": token.tid,
+                    "values": token.values,
+                })
         if self.route_tokens is not None:
             self.route_tokens(tokens)
             return

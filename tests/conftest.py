@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from hypothesis import settings
 
 # A leaner default profile: the suite has many property tests and the full

@@ -4,7 +4,7 @@ tests, plus shared schema builders for the paper's example relations."""
 from __future__ import annotations
 
 from repro.catalog.catalog import Catalog
-from repro.catalog.schema import AttributeType, Schema
+from repro.catalog.schema import Schema
 from repro.executor.executor import ExecutionContext, Executor
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_command

@@ -4,7 +4,6 @@ import pytest
 
 from repro import Database
 from repro.core.action_planner import modified_action_text
-from repro.planner.plans import plan_operators
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ implementations (A-TREAT, plain TREAT, Rete).
 import pytest
 
 from repro import Database, RuleError, RuleLoopError
-from repro.errors import CatalogError, ExecutionError, SemanticError
+from repro.errors import CatalogError, ExecutionError
 
 
 NETWORKS = ["a-treat", "treat", "rete"]

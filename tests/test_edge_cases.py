@@ -4,7 +4,7 @@ import pytest
 
 from repro import Database
 from repro.errors import (
-    ArielError, CatalogError, ExecutionError, RuleError, SemanticError)
+    CatalogError, ExecutionError, SemanticError)
 
 
 @pytest.fixture

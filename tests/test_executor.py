@@ -9,7 +9,7 @@ from hypothesis import given, strategies as st
 from repro.errors import ExecutionError
 from repro.lang.expr import Bindings, compile_expr, is_true
 from repro.lang.parser import parse_command
-from tests.helpers import MiniEngine, paper_engine
+from tests.helpers import paper_engine
 
 
 @pytest.fixture

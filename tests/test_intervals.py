@@ -6,7 +6,7 @@ force scan returns (DESIGN.md invariant 1).
 """
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.intervals.interval import (
     Interval, NEG_INF, POS_INF, key_eq, key_le, key_lt)

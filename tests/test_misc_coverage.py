@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Database
-from repro.catalog.catalog import Catalog, RulesetInfo
+from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Schema
 from repro.errors import ArielError, CatalogError
 from repro.storage.heap import HeapRelation

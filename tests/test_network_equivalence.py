@@ -11,7 +11,6 @@ compare the logs) — the point is condition testing equivalence, including
 self-join multiplicities.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import Database

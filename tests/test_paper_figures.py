@@ -6,10 +6,6 @@ virtual middle node, the modified action of Figure 7, and a Figure-8
 style plan for an action command.
 """
 
-import io
-
-import pytest
-
 from repro import Database
 from repro.core.action_planner import modified_action_text
 from repro.core.introspect import describe_rule

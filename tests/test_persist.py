@@ -1,9 +1,12 @@
 """Tests for null literals, database dump/load, and the firing trace."""
 
+import math
+
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import Database
-from repro.errors import ArielError, SemanticError
+from repro.errors import SemanticError
 from repro import persist
 
 
@@ -139,12 +142,17 @@ class TestDumpLoad:
         restored = persist.load(path)
         assert len(restored.relation_rows("emp")) == 3
 
-    def test_non_finite_float_rejected(self):
+    def test_non_finite_floats_round_trip(self):
         db = Database()
         db.execute("create t (a = float8)")
         db.catalog.relation("t").insert((float("inf"),))
-        with pytest.raises(ArielError):
-            persist.dumps(db)
+        db.catalog.relation("t").insert((float("-inf"),))
+        db.catalog.relation("t").insert((float("nan"),))
+        restored = persist.loads(persist.dumps(db))
+        values = [row[0] for row in restored.relation_rows("t")]
+        assert values[0] == float("inf")
+        assert values[1] == float("-inf")
+        assert math.isnan(values[2])
 
     def test_load_with_network_choice(self):
         db = make_db()
@@ -187,3 +195,47 @@ class TestFiringTrace:
         db.execute("do append t(a=1) append t(a=2) append t(a=3) end")
         assert len(db.firing_log) == 1
         assert db.firing_log[0].match_count == 3
+
+
+class TestFloatFidelity:
+    """Dumps must round-trip floats exactly, non-finite values included."""
+
+    EDGE_FLOATS = [0.1, 1e-7, 1.5e300, 5e-324, -0.0, 123456.789,
+                   float("inf"), float("-inf"), float("nan")]
+
+    def _dump_of(self, values):
+        db = Database()
+        db.execute("create t (a = float8)")
+        for value in values:
+            db.catalog.relation("t").insert((value,))
+        return persist.dumps(db)
+
+    def test_edge_floats_dump_load_dump_idempotent(self):
+        first = self._dump_of(self.EDGE_FLOATS)
+        second = persist.dumps(persist.loads(first))
+        assert first == second
+
+    def test_exact_bit_pattern_round_trip(self):
+        import struct
+
+        restored = persist.loads(self._dump_of(self.EDGE_FLOATS))
+        values = [row[0] for row in restored.relation_rows("t")]
+        assert len(values) == len(self.EDGE_FLOATS)
+        for original, loaded in zip(self.EDGE_FLOATS, values):
+            assert struct.pack("<d", original) \
+                == struct.pack("<d", loaded)
+
+    def test_scientific_literal_overflowing_to_inf(self):
+        db = Database()
+        db.execute("create t (a = float8)")
+        db.execute("append t(a = 1e999)")     # parses as float('inf')
+        assert db.relation_rows("t") == [(float("inf"),)]
+        dumped = persist.dumps(db)
+        assert "inf" in dumped
+
+    @given(value=st.floats(allow_nan=True, allow_infinity=True))
+    @settings(max_examples=200, deadline=None)
+    def test_property_dump_load_dump_idempotent(self, value):
+        first = self._dump_of([value])
+        second = persist.dumps(persist.loads(first))
+        assert first == second

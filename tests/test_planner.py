@@ -3,7 +3,7 @@
 import pytest
 
 from repro.planner.plans import explain, plan_operators
-from tests.helpers import MiniEngine, paper_engine
+from tests.helpers import paper_engine
 
 
 @pytest.fixture

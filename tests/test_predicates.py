@@ -4,8 +4,7 @@ import pytest
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Schema
-from repro.intervals.interval import Interval, NEG_INF, POS_INF
-from repro.lang import ast_nodes as ast
+from repro.intervals.interval import Interval
 from repro.lang.parser import parse_command
 from repro.lang.predicates import (
     analyze_selection, build_condition_graph, conjoin, equijoin_of_conjunct,

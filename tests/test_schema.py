@@ -24,6 +24,17 @@ class TestAttributeType:
         with pytest.raises(SemanticError):
             AttributeType.from_name("blob")
 
+    def test_from_name_unknown_lists_accepted_names(self):
+        with pytest.raises(SemanticError) as err:
+            AttributeType.from_name("blob")
+        message = str(err.value)
+        assert "'blob'" in message
+        # every canonical name and alias is offered as a correction
+        for name in ("int4", "int", "integer", "float8", "float",
+                     "real", "double", "text", "string", "varchar",
+                     "char", "bool", "boolean"):
+            assert name in message
+
     def test_int_accepts(self):
         assert AttributeType.INT.accepts(5)
         assert not AttributeType.INT.accepts(5.0)

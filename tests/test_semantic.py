@@ -5,7 +5,6 @@ import pytest
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Schema
 from repro.errors import SemanticError
-from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_command
 from repro.lang.semantic import SemanticAnalyzer
 
@@ -64,6 +63,19 @@ class TestDDL:
     def test_index_bad_kind(self, analyzer):
         with pytest.raises(SemanticError):
             check(analyzer, "define index ix on emp (sal) using gin")
+
+    def test_index_bad_kind_lists_accepted_kinds(self, analyzer):
+        with pytest.raises(SemanticError) as err:
+            check(analyzer, "define index ix on emp (sal) using gin")
+        message = str(err.value)
+        assert "'gin'" in message
+        assert "btree" in message and "hash" in message
+
+    def test_create_bad_type_lists_accepted_names(self, analyzer):
+        with pytest.raises(SemanticError) as err:
+            check(analyzer, "create t (x = blob)")
+        message = str(err.value)
+        assert "int4" in message and "boolean" in message
 
 
 class TestAppend:

@@ -8,7 +8,7 @@ from repro.lang.parser import parse_command
 from repro.lang.semantic import SemanticAnalyzer
 from repro.planner import cost
 from repro.planner.stats import (
-    EQ_DEFAULT, NEQ_DEFAULT, RANGE_DEFAULT, Statistics)
+    NEQ_DEFAULT, RANGE_DEFAULT, Statistics)
 
 
 @pytest.fixture

@@ -1,8 +1,6 @@
 """Network-level tests: virtual α-memories, storage accounting, the
 selection-index routing, and dynamic flushing."""
 
-import pytest
-
 from repro import Database
 from repro.core.alpha import VirtualAlphaMemory
 
