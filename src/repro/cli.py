@@ -8,6 +8,9 @@ inspect the system:
 ``\\d``         list relations (or ``\\d name`` for one schema)
 ``\\rules``     list rules and network statistics
 ``\\rule name`` describe one rule's network and modified action
+``\\plan name`` show one rule's adaptive join plan: per-memory
+               stored/virtual decision, join-index set, probe
+               feedback, and the seek order from every seed
 ``\\explain q`` show the plan for a data command; ``\\explain analyze
                q`` executes it and annotates every operator with rows,
                loops and wall time
@@ -37,7 +40,8 @@ import re
 import sys
 import time
 
-from repro.core.introspect import describe_rule, network_summary
+from repro.core.introspect import (
+    describe_join_plan, describe_rule, network_summary)
 from repro.db import Database
 from repro.errors import ArielError
 from repro.executor.executor import DmlResult, ResultSet
@@ -151,6 +155,12 @@ class Shell:
                     self._print("usage: \\rule <name>")
                 else:
                     self._print(describe_rule(self.db.manager, argument))
+            elif command == "\\plan":
+                if not argument:
+                    self._print("usage: \\plan <rule>")
+                else:
+                    self._print(describe_join_plan(self.db.manager,
+                                                   argument))
             elif command == "\\explain":
                 if argument.startswith("analyze "):
                     self._print(self.db.explain(
@@ -213,10 +223,10 @@ class Shell:
                     self._print(f"loaded {argument} (fresh database)")
             else:
                 self._print(f"unknown meta-command {command!r} "
-                            f"(try \\d, \\rules, \\rule, \\explain, "
-                            f"\\begin, \\commit, \\abort, \\net, "
-                            f"\\stats, \\trace, \\timing, \\prepare, "
-                            f"\\exec, \\dump, \\load, \\q)")
+                            f"(try \\d, \\rules, \\rule, \\plan, "
+                            f"\\explain, \\begin, \\commit, \\abort, "
+                            f"\\net, \\stats, \\trace, \\timing, "
+                            f"\\prepare, \\exec, \\dump, \\load, \\q)")
         except (ArielError, OSError) as exc:
             self._print(f"error: {exc}")
         return True

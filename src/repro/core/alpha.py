@@ -130,6 +130,16 @@ def _event_matches(gate: EventSpec | None, token: Token) -> bool:
     return bool(set(gate.attributes) & set(token.event.attributes))
 
 
+#: accumulated full-scan cost (probes x entries scanned) at which an
+#: equality-probed but un-indexed (memory, position) earns a hash join
+#: index built on the fly
+PROMOTE_COST_THRESHOLD = 256
+
+#: cap on join indexes per memory: each one is maintained by every
+#: insert/remove/flush, so promotion must not grow without bound
+MAX_JOIN_INDEXES = 4
+
+
 class AlphaMemory:
     """A materialised α-memory: entries keyed by tuple id.
 
@@ -153,6 +163,11 @@ class AlphaMemory:
         #: the token hot path skips the by-name lookups
         self.rule = None
         self.pnode = None
+        #: how many times the join step consulted this memory (probe or
+        #: scan) — the feedback signal for adaptive materialization
+        self.probe_count = 0
+        #: equality probes answered by a full scan for want of an index
+        self.unindexed_probe_count = 0
         self._entries: dict[TupleId, MemoryEntry] = {}
         # join indexes: attribute position -> {value -> {tid -> entry}}
         # (inner dicts keep insertion order, matching entries() iteration
@@ -160,6 +175,9 @@ class AlphaMemory:
         self._join_indexes: dict[int, dict[object,
                                            dict[TupleId,
                                                 MemoryEntry]]] = {}
+        # position -> accumulated un-indexed equality-scan cost; feeds
+        # the on-the-fly promotion decision in note_unindexed_probe
+        self._unindexed_cost: dict[int, int] = {}
 
     @property
     def kind_name(self) -> str:
@@ -246,6 +264,40 @@ class AlphaMemory:
     def has_join_index(self, position: int) -> bool:
         return position in self._join_indexes
 
+    def join_index_positions(self) -> list[int]:
+        """The attribute positions currently carrying a join index."""
+        return list(self._join_indexes)
+
+    def note_unindexed_probe(self, position: int) -> bool:
+        """Record one equality probe that found no join index on
+        ``position``.
+
+        Accumulates the probe's full-scan cost (the current entry
+        count); once the total crosses :data:`PROMOTE_COST_THRESHOLD`
+        — and the memory is under :data:`MAX_JOIN_INDEXES` — the index
+        is built on the spot and True is returned, telling the caller
+        to answer this very probe from the fresh index.  Returns False
+        while the probe must still degrade to a full scan.
+        """
+        cost = self._unindexed_cost.get(position, 0) \
+            + max(len(self._entries), 1)
+        if cost >= PROMOTE_COST_THRESHOLD \
+                and len(self._join_indexes) < MAX_JOIN_INDEXES:
+            self._unindexed_cost.pop(position, None)
+            self.ensure_join_index(position)
+            stats = self.stats
+            if stats.enabled:
+                stats.bump("alpha.join_indexes_promoted")
+            return True
+        self._unindexed_cost[position] = cost
+        self.unindexed_probe_count += 1
+        stats = self.stats
+        if stats.enabled:
+            counters = stats.counters
+            counters["joins.unindexed_probes"] = \
+                counters.get("joins.unindexed_probes", 0) + 1
+        return False
+
     def join_probe(self, position: int, value) -> Iterator[MemoryEntry]:
         """Entries whose attribute at ``position`` equals ``value`` —
         the O(1) bucket lookup replacing the full-memory scan of the
@@ -301,6 +353,9 @@ class VirtualAlphaMemory:
         self.pnode = None
         #: diagnostics: how many base-relation scans this memory answered
         self.scan_count = 0
+        #: join-step consultations (same feedback role as
+        #: :attr:`AlphaMemory.probe_count`)
+        self.probe_count = 0
 
     @property
     def kind_name(self) -> str:
@@ -318,6 +373,7 @@ class VirtualAlphaMemory:
         scan.
         """
         self.scan_count += 1
+        self.probe_count += 1
         stats = self.stats
         if stats.enabled:
             counters = stats.counters
@@ -327,7 +383,9 @@ class VirtualAlphaMemory:
         matches = self.spec.selection_matches
         if equality is not None:
             position, value = equality
-            if value is None:
+            if value is None or value != value:
+                # Null — and NaN, which compares unequal even to
+                # itself — never satisfies an equi-join conjunct.
                 return
             attr = relation.schema.attributes[position].name
             index = (relation.index_on(attr, "hash")

@@ -66,6 +66,16 @@ def _describe_memory(manager: RuleManager, rule: CompiledRule,
     return ", ".join(parts)
 
 
+def describe_join_plan(manager: RuleManager, name: str) -> str:
+    """The adaptive join plan of one active rule (the CLI's ``\\plan``):
+    per-memory storage decision, join-index set and probe feedback, plus
+    the planner's seek order from every seed variable."""
+    record = manager.rule(name)
+    if not record.active:
+        return f"rule {name} is not active (no join plan)"
+    return manager.network.join_planner.describe(record.compiled)
+
+
 def probe_tuple(manager: RuleManager, relation: str,
                 values: tuple, old_values: tuple | None = None) -> list:
     """Dry-run the selection layer: which rule memories would a tuple

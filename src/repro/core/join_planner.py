@@ -1,0 +1,273 @@
+"""Adaptive join planning for the TREAT/Rete seek path (paper §8).
+
+The paper's join step walks a *static* variable order; Hanson notes the
+recognize phase leaves "tremendous possibilities for optimization".
+This module replaces the static ``rule.join_order_from(seed_var)`` with
+a cost-driven greedy planner that, at each depth, picks the cheapest
+next variable using **live** cardinalities — ``len(memory)`` for stored
+α-memories, :class:`~repro.planner.stats.Statistics` estimates for
+virtual ones — and strongly prefers variables reachable through a bound
+equi-join conjunct (a hash-bucket or index probe) over unfiltered scans.
+
+Planning stays off the hot path by memoizing the chosen order per
+``(rule, seed variable, cardinality-bucket signature)``: the signature
+buckets each memory's cardinality by its bit length, so an order is
+re-planned only when some memory's size changes by ~2x, and the whole
+cache is invalidated when the catalog version moves (DDL, rule
+lifecycle, index creation).
+
+The same machinery plans the Rete β-chain order
+(:meth:`JoinPlanner.chain_order`), recomputed whenever a rule's chain
+is rebuilt from α contents.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.rules import CompiledRule
+
+#: additive cost making a variable with no join conjunct to the bound
+#: set (a cartesian step) lose to any connected alternative
+_CARTESIAN_COST = 1.0e12
+
+
+class JoinPlanner:
+    """Cost-driven seek ordering over a discrimination network.
+
+    Owned by the network; consulted by the TREAT seek
+    (:meth:`order`) and the Rete β-chain rebuild (:meth:`chain_order`).
+    """
+
+    def __init__(self, network):
+        self.network = network
+        #: test hook: a callable ``(rule, seed_var) -> list[str]`` that
+        #: overrides :meth:`order` entirely (the join-order permutation
+        #: property test and the static-baseline benchmark use it)
+        self.forced = None
+        self._orders: dict[tuple, list[str]] = {}
+        self._chains: dict[tuple, list[str]] = {}
+        # (rule, var, relation-cardinality bucket) -> estimated rows a
+        # virtual memory's selection keeps (Statistics calls are not
+        # hot-path cheap, so they are cached alongside the orders)
+        self._virtual_rows: dict[tuple, float] = {}
+        self._version: int | None = None
+
+    # ------------------------------------------------------------------
+    # cache lifecycle
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every memoized order and estimate."""
+        self._orders.clear()
+        self._chains.clear()
+        self._virtual_rows.clear()
+
+    def forget(self, rule_name: str) -> None:
+        """Drop cached plans of one rule (rule removal)."""
+        for cache in (self._orders, self._chains):
+            for key in [k for k in cache if k[0] == rule_name]:
+                del cache[key]
+
+    def _sync(self) -> None:
+        version = self.network.catalog.version
+        if version != self._version:
+            self.invalidate()
+            self._version = version
+
+    # ------------------------------------------------------------------
+    # the planning entry points
+    # ------------------------------------------------------------------
+
+    def order(self, rule: CompiledRule, seed_var: str) -> list[str]:
+        """The seek order for one TREAT join step: the rule's remaining
+        variables, cheapest-next-first under current cardinalities."""
+        if self.forced is not None:
+            return list(self.forced(rule, seed_var))
+        self._sync()
+        key = (rule.name, seed_var, self._signature(rule))
+        order = self._orders.get(key)
+        stats = self.network.stats
+        if order is not None:
+            if stats.enabled:
+                counters = stats.counters
+                counters["joins.order_cache_hits"] = \
+                    counters.get("joins.order_cache_hits", 0) + 1
+            return order
+        order = self._greedy(rule, {seed_var})
+        self._orders[key] = order
+        if stats.enabled:
+            stats.bump("joins.orders_planned")
+        return order
+
+    def chain_order(self, rule: CompiledRule) -> list[str]:
+        """A full variable order for the Rete β chain: the cheapest
+        start variable, then the greedy extension order."""
+        self._sync()
+        key = (rule.name, self._signature(rule))
+        chain = self._chains.get(key)
+        if chain is not None:
+            return chain
+        start = min(rule.variables,
+                    key=lambda v: (self._rows(rule, v), v))
+        chain = [start] + self._greedy(rule, {start})
+        self._chains[key] = chain
+        if self.network.stats.enabled:
+            self.network.stats.bump("joins.chains_planned")
+        return chain
+
+    # ------------------------------------------------------------------
+    # the greedy cost model
+    # ------------------------------------------------------------------
+
+    def _greedy(self, rule: CompiledRule, bound: set[str]) -> list[str]:
+        bound = set(bound)
+        remaining = [v for v in rule.variables if v not in bound]
+        order: list[str] = []
+        while remaining:
+            best = None
+            best_cost = math.inf
+            for var in remaining:        # rule.variables is sorted, so
+                cost = self._step_cost(rule, var, bound)
+                if cost < best_cost:     # ties resolve to the first
+                    best, best_cost = var, cost
+            remaining.remove(best)
+            bound.add(best)
+            order.append(best)
+        return order
+
+    def _step_cost(self, rule: CompiledRule, var: str,
+                   bound: set[str]) -> float:
+        """Estimated cost of extending the partial combination by one
+        variable: access cost of producing its candidates plus the
+        expected candidate count (which the deeper levels multiply)."""
+        memory = self.network._memories[(rule.name, var)]
+        spec = memory.spec
+        stats = self.network.optimizer.stats
+        equi = self._bound_equijoin(rule, var, bound)
+        if memory.is_virtual:
+            relation_rows = float(stats.cardinality(spec.relation))
+            rows = self._virtual_rows_estimate(rule, var, spec, stats)
+            if equi is not None:
+                attr, _position = equi
+                output = stats.equijoin_bucket(spec.relation, attr, rows)
+                relation = self.network.catalog.relation(spec.relation)
+                if relation.index_on(attr) is not None:
+                    access = math.log2(relation_rows + 2.0) + output
+                else:
+                    access = relation_rows
+                return access + output
+            cost = relation_rows + rows
+        else:
+            rows = float(len(memory))
+            if equi is not None:
+                attr, _position = equi
+                # hash-bucket fetch: cheap whether the join index exists
+                # already or is about to be promoted on demand
+                output = stats.equijoin_bucket(spec.relation, attr, rows)
+                return 1.0 + 2.0 * output
+            cost = 2.0 * rows
+        if not self._connected(rule, var, bound):
+            cost += _CARTESIAN_COST
+        return cost
+
+    def _rows(self, rule: CompiledRule, var: str) -> float:
+        """Live candidate-count estimate of one memory: the stored
+        entry count, or the virtual node's filtered-scan estimate."""
+        memory = self.network._memories[(rule.name, var)]
+        if memory.is_virtual:
+            return self._virtual_rows_estimate(
+                rule, var, memory.spec, self.network.optimizer.stats)
+        return float(len(memory))
+
+    def _virtual_rows_estimate(self, rule: CompiledRule, var: str,
+                               spec, stats) -> float:
+        bucket = stats.cardinality(spec.relation).bit_length()
+        key = (rule.name, var, bucket)
+        rows = self._virtual_rows.get(key)
+        if rows is None:
+            rows = stats.scan_cardinality(spec.relation, var,
+                                          spec.selection_conjuncts)
+            self._virtual_rows[key] = rows
+        return rows
+
+    @staticmethod
+    def _bound_equijoin(rule: CompiledRule, var: str,
+                        bound: set[str]) -> tuple[str, int] | None:
+        """The (attribute, position) of an equi-join conjunct linking
+        ``var`` to an already-bound variable, if any."""
+        for other, attr, position in rule.equijoins_by_var.get(var, ()):
+            if other in bound:
+                return attr, position
+        return None
+
+    @staticmethod
+    def _connected(rule: CompiledRule, var: str, bound: set[str]) -> bool:
+        return any(var in j.variables and j.variables & bound
+                   for j in rule.joins)
+
+    # ------------------------------------------------------------------
+    # signatures
+    # ------------------------------------------------------------------
+
+    def _signature(self, rule: CompiledRule) -> tuple[int, ...]:
+        """Cardinality-bucket signature: one log2 bucket per variable,
+        so memoized orders survive small size drift but re-plan when a
+        memory roughly doubles or halves."""
+        memories = self.network._memories
+        catalog = self.network.catalog
+        sig = []
+        for var in rule.variables:
+            memory = memories[(rule.name, var)]
+            if memory.is_virtual:
+                n = len(catalog.relation(memory.spec.relation))
+            else:
+                n = len(memory)
+            sig.append(n.bit_length())
+        return tuple(sig)
+
+    # ------------------------------------------------------------------
+    # introspection (the CLI's ``\plan``)
+    # ------------------------------------------------------------------
+
+    def describe(self, rule: CompiledRule) -> str:
+        """Current join plan of one rule: per-memory storage decision
+        and index set, the seek order from every seed, and (for Rete)
+        the β-chain order."""
+        network = self.network
+        stats = network.optimizer.stats
+        lines = [f"join plan for rule {rule.name} "
+                 f"({network.network_name} network)"]
+        for var in rule.variables:
+            memory = network._memories[(rule.name, var)]
+            spec = memory.spec
+            relation = network.catalog.relation(spec.relation)
+            if memory.is_virtual:
+                rows = self._virtual_rows_estimate(rule, var, spec, stats)
+                lines.append(
+                    f"  {var} in {spec.relation}: virtual, "
+                    f"~{rows:.0f} of {len(relation)} row(s), "
+                    f"{memory.probe_count} probe(s)")
+            elif spec.is_simple:
+                lines.append(f"  {var} in {spec.relation}: simple "
+                             f"(routed straight to the P-node)")
+            else:
+                names = relation.schema.names()
+                indexed = ", ".join(
+                    names[p] for p in sorted(memory.join_index_positions()))
+                lines.append(
+                    f"  {var} in {spec.relation}: stored, "
+                    f"{len(memory)} entries, "
+                    f"join-index(es) [{indexed}], "
+                    f"{memory.probe_count} probe(s), "
+                    f"{memory.unindexed_probe_count} unindexed")
+        if len(rule.variables) > 1:
+            for seed in rule.variables:
+                order = self.order(rule, seed)
+                lines.append(f"  seek from {seed}: "
+                             + " -> ".join([seed] + order))
+            states = getattr(network, "_states", None)
+            if states is not None and rule.name in states:
+                lines.append("  beta chain: "
+                             + " -> ".join(states[rule.name].order))
+        return "\n".join(lines)

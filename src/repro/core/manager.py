@@ -76,7 +76,8 @@ class RuleManager:
                  virtual_policy="auto",
                  selection_index: SelectionIndex | None = None,
                  max_rule_cascade: int = 1000,
-                 stats: EngineStats | None = None):
+                 stats: EngineStats | None = None,
+                 join_index_policy: str = "demand"):
         self.catalog = catalog
         self.optimizer = optimizer or Optimizer(catalog)
         self.stats = stats or NULL_STATS
@@ -87,7 +88,8 @@ class RuleManager:
             selection_index or SelectionIndex(),
             virtual_policy=virtual_policy,
             on_match=self.agenda.notify,
-            stats=self.stats)
+            stats=self.stats,
+            join_index_policy=join_index_policy)
         self.halted = False
         #: bound on firings per triggering transition (cascade guard)
         self.max_rule_cascade = max_rule_cascade

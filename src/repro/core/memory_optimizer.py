@@ -16,8 +16,13 @@ available storage".  This module implements that optimizer:
   affected rule under a callable virtual policy that pins the decision.
 
 The estimates come from the same :class:`~repro.planner.stats.Statistics`
-the query optimizer uses.  Probe frequencies are assumed uniform; a
-``weights`` mapping lets callers bias rules they know fire often.
+the query optimizer uses.  Probe frequencies are assumed uniform by
+default; a ``weights`` mapping lets callers bias rules they know fire
+often, and ``observed=True`` replaces the uniform assumption with the
+per-memory probe counters the join step maintains at runtime —
+:func:`adapt_memories` packages that feedback loop (plan from observed
+frequencies, rebuild only the rules whose decision flipped, reset the
+counters for a fresh window).
 """
 
 from __future__ import annotations
@@ -65,7 +70,7 @@ class MemoryPlan:
     def __str__(self) -> str:
         lines = [f"memory plan: budget {self.budget:.0f} entries, "
                  f"using {self.used_budget():.0f}"]
-        for c in sorted(self.choices, key=lambda c: -c.worth):
+        for c in sorted(self.choices, key=_density_key):
             verdict = "stored " if c.materialize else "virtual"
             lines.append(
                 f"  {verdict} {c.rule_name}/{c.var} on {c.relation}: "
@@ -74,18 +79,47 @@ class MemoryPlan:
         return "\n".join(lines)
 
 
+def _density_key(choice: MemoryChoice) -> tuple:
+    """Deterministic knapsack order: benefit density descending, then
+    (rule name, variable) to break ties stably."""
+    return (-choice.worth, choice.rule_name, choice.var)
+
+
 def plan_memories(db, budget_entries: float,
-                  weights: dict[str, float] | None = None) -> MemoryPlan:
+                  weights: dict[str, float] | None = None,
+                  observed: bool = False) -> MemoryPlan:
     """Choose which pattern α-memories to materialize.
 
     ``budget_entries`` bounds the total stored α entries across all
     rules; ``weights`` optionally scales the probe benefit per rule name
-    (how often its memories are consulted, default 1.0).
+    (how often its memories are consulted, default 1.0).  With
+    ``observed=True`` each memory's benefit is additionally scaled by
+    its *measured* probe frequency — the ``probe_count`` the join step
+    maintains — normalised to mean 1.0 over the candidates, so memories
+    the workload actually consults outbid cold ones (uniform frequency
+    is used as a fallback when nothing has been probed yet).
     """
     stats = db.optimizer.stats
     weights = weights or {}
+    network = db.manager.network
+    frequency: dict[tuple[str, str], float] = {}
+    if observed:
+        counts = {}
+        for rule in network.rules.values():
+            if len(rule.variables) == 1:
+                continue
+            for var in rule.variables:
+                spec = rule.specs[var]
+                if spec.is_dynamic or spec.is_simple:
+                    continue
+                memory = network.memory(rule.name, var)
+                counts[(rule.name, var)] = float(memory.probe_count)
+        mean = (sum(counts.values()) / len(counts)) if counts else 0.0
+        if mean > 0:
+            frequency = {key: count / mean
+                         for key, count in counts.items()}
     candidates: list[MemoryChoice] = []
-    for rule in db.manager.network.rules.values():
+    for rule in network.rules.values():
         if len(rule.variables) == 1:
             continue
         for var in rule.variables:
@@ -106,6 +140,7 @@ def plan_memories(db, budget_entries: float,
                     relation.schema.names()[0]), 1)
                 virtual_cost = math.log2(len(relation) + 2) + matches
             weight = weights.get(rule.name, 1.0)
+            weight *= frequency.get((rule.name, var), 1.0)
             benefit = max(virtual_cost - stored_cost, 0.0) * weight
             candidates.append(MemoryChoice(
                 rule.name, var, spec.relation, entries, benefit, False))
@@ -113,7 +148,7 @@ def plan_memories(db, budget_entries: float,
     # Greedy knapsack by benefit density.
     remaining = float(budget_entries)
     chosen: list[MemoryChoice] = []
-    for candidate in sorted(candidates, key=lambda c: -c.worth):
+    for candidate in sorted(candidates, key=_density_key):
         materialize = (candidate.benefit_per_probe > 0
                        and candidate.estimated_entries <= remaining)
         if materialize:
@@ -125,12 +160,15 @@ def plan_memories(db, budget_entries: float,
     return MemoryPlan(float(budget_entries), chosen)
 
 
-def apply_plan(db, plan: MemoryPlan) -> int:
+def apply_plan(db, plan: MemoryPlan, only_changes: bool = False) -> int:
     """Rebuild the affected rules' networks under the plan's choices.
 
     Returns the number of rules reactivated.  Each rule is deactivated
     and reactivated with a pinned virtual policy, so its memories are
-    re-primed from current data.
+    re-primed from current data.  With ``only_changes=True`` a rule
+    whose memories already match the plan is left untouched — the
+    online-adaptation mode, where a reactivation (re-prime plus β/P
+    rebuild) is only worth paying for an actual flip.
     """
     by_rule: dict[str, dict[str, bool]] = {}
     for choice in plan.choices:
@@ -141,6 +179,8 @@ def apply_plan(db, plan: MemoryPlan) -> int:
     for rule_name, decisions in by_rule.items():
         record = db.manager.rule(rule_name)
         if not record.active:
+            continue
+        if only_changes and not _plan_differs(db, rule_name, decisions):
             continue
 
         def pinned(spec, decisions=decisions):
@@ -159,6 +199,16 @@ def apply_plan(db, plan: MemoryPlan) -> int:
     return reactivated
 
 
+def _plan_differs(db, rule_name: str, decisions: dict[str, bool]) -> bool:
+    """Does any of the rule's memories disagree with the plan?"""
+    network = db.manager.network
+    for var, materialize in decisions.items():
+        memory = network.memory(rule_name, var)
+        if memory.is_virtual == materialize:
+            return True
+    return False
+
+
 def optimize_memories(db, budget_entries: float,
                       weights: dict[str, float] | None = None
                       ) -> MemoryPlan:
@@ -166,6 +216,28 @@ def optimize_memories(db, budget_entries: float,
     plan = plan_memories(db, budget_entries, weights)
     apply_plan(db, plan)
     return plan
+
+
+def adapt_memories(db, budget_entries: float,
+                   weights: dict[str, float] | None = None
+                   ) -> tuple[MemoryPlan, int]:
+    """One feedback-driven adaptation step (paper §8, made adaptive).
+
+    Plans from the *observed* per-memory probe counters, rebuilds only
+    the rules whose storage decision actually flipped, then resets the
+    counters so the next step sees a fresh feedback window.  Returns
+    ``(plan, rules_reactivated)``.
+    """
+    plan = plan_memories(db, budget_entries, weights, observed=True)
+    flipped = apply_plan(db, plan, only_changes=True)
+    network = db.manager.network
+    for rule in network.rules.values():
+        for var in rule.variables:
+            memory = network.memory(rule.name, var)
+            memory.probe_count = 0
+            if not memory.is_virtual:
+                memory.unindexed_probe_count = 0
+    return plan, flipped
 
 
 #: below this relation size the optimizer counts qualifying tuples

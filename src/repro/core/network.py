@@ -31,6 +31,7 @@ from typing import Callable, Iterable, Sequence
 from repro.catalog.catalog import Catalog
 from repro.core.alpha import (
     AlphaMemory, MemoryEntry, VirtualAlphaMemory, dispatch)
+from repro.core.join_planner import JoinPlanner
 from repro.core.pnode import Match, PNode
 from repro.core.rules import CompiledRule, VariableSpec
 from repro.core.selection_index import SelectionIndex
@@ -60,7 +61,8 @@ class DiscriminationNetwork:
                  selection_index: SelectionIndex | None = None,
                  virtual_policy: VirtualPolicy = "auto",
                  on_match: Callable[[CompiledRule], None] | None = None,
-                 stats: EngineStats | None = None):
+                 stats: EngineStats | None = None,
+                 join_index_policy: str = "demand"):
         self.catalog = catalog
         self.optimizer = optimizer or Optimizer(catalog)
         self.selection_index = selection_index or SelectionIndex()
@@ -69,6 +71,18 @@ class DiscriminationNetwork:
         self.stats = stats or NULL_STATS
         self.selection_index.stats = self.stats
         self.virtual_policy = virtual_policy
+        if join_index_policy not in ("eager", "demand"):
+            raise RuleError(
+                f"unknown join index policy {join_index_policy!r}; "
+                f"expected 'eager' or 'demand'")
+        #: "eager" builds hash join-indexes on every equality-probed
+        #: position at add_rule time; "demand" (default) lets
+        #: :meth:`AlphaMemory.note_unindexed_probe` promote them at
+        #: runtime once a scan-cost threshold is crossed
+        self.join_index_policy = join_index_policy
+        #: the adaptive seek/chain-order planner (cost-driven ordering,
+        #: memoized per cardinality bucket)
+        self.join_planner = JoinPlanner(self)
         self.on_match = on_match or (lambda rule: None)
         self.rules: dict[str, CompiledRule] = {}
         self._memories: dict[tuple[str, str],
@@ -113,11 +127,20 @@ class DiscriminationNetwork:
             self.prime_rule(rule)
 
     def _build_join_indexes(self, rule: CompiledRule) -> None:
-        """Give each stored α-memory a hash join-index on every attribute
-        position the rule's join graph probes with equality, so the join
-        step's candidate lookup is a bucket fetch instead of a
-        full-memory scan.  Built before priming; maintained by the
-        memories themselves afterwards."""
+        """Under the ``"eager"`` join-index policy, give each stored
+        α-memory a hash join-index on every attribute position the
+        rule's join graph probes with equality, so the join step's
+        candidate lookup is a bucket fetch instead of a full-memory
+        scan.  Built before priming; maintained by the memories
+        themselves afterwards.
+
+        Under the default ``"demand"`` policy nothing is built here:
+        the join step counts un-indexed equality scans per (memory,
+        position) and :meth:`AlphaMemory.note_unindexed_probe` promotes
+        an index once the accumulated scan cost crosses its threshold —
+        so never-probed positions never pay index maintenance."""
+        if self.join_index_policy != "eager":
+            return
         for conjunct in rule.joins:
             equi = conjunct.equijoin
             if equi is None:
@@ -141,6 +164,7 @@ class DiscriminationNetwork:
                 self._virtual_count -= 1
             self.selection_index.remove(memory)
         del self._pnodes[name]
+        self.join_planner.forget(name)
 
     def _make_memory(self, rule: CompiledRule, spec: VariableSpec):
         if self._wants_virtual(spec):
@@ -414,8 +438,47 @@ class DiscriminationNetwork:
         candidates.sort(key=_memory_order)
         return candidates
 
+    def _join_candidates(self, memory, var: str, partial: dict,
+                         conjuncts, pending_vars, token: Token | None):
+        """One join step's candidate entries, plus the equi-join
+        conjunct the access path already *enforces* (None when every
+        conjunct must still be evaluated over the candidates).
+
+        Stored memories answer an equality probe from a hash
+        join-index bucket; a probe that finds no index is noted (the
+        demand-driven promotion signal) and degrades — explicitly — to
+        a full-memory scan with no conjunct enforced.  Virtual memories
+        answer from the base relation via :meth:`_virtual_entries`,
+        whose equality sharpening is exact, so the probed conjunct is
+        enforced there too.  Null and NaN probe values yield no
+        candidates: under three-valued logic they never satisfy an
+        equi-join conjunct.
+        """
+        probe = equality_probe(var, partial, conjuncts)
+        if not memory.is_virtual:
+            memory.probe_count += 1
+            if probe is None:
+                return memory.entries(), None
+            position, value, conjunct = probe
+            if value is None or value != value:
+                return (), conjunct
+            if memory.has_join_index(position) \
+                    or memory.note_unindexed_probe(position):
+                return memory.join_probe(position, value), conjunct
+            # degraded path: no join index (yet) — scan everything and
+            # let the conjunct be evaluated like any other
+            return memory.entries(), None
+        if probe is None:
+            equality, enforced = None, None
+        else:
+            equality, enforced = (probe[0], probe[1]), probe[2]
+        entries = self._virtual_entries(memory, var, partial, equality,
+                                        pending_vars, token)
+        return entries, enforced
+
     def _virtual_entries(self, memory, var: str, partial: dict,
-                         conjuncts, pending_vars, token: Token | None
+                         equality: tuple[int, object] | None,
+                         pending_vars, token: Token | None
                          ) -> Iterable[MemoryEntry]:
         """A virtual α-memory's conceptual contents for one join step.
 
@@ -427,7 +490,11 @@ class DiscriminationNetwork:
         "a virtual α-memory node implicitly contains exactly the same set
         of tokens as a stored α-memory node" holds mid-batch too.
         """
-        equality = equality_constraint(var, partial, conjuncts)
+        if equality is not None:
+            value = equality[1]
+            if value is None or value != value:
+                # null/NaN never satisfies an equi-join conjunct
+                return
         exclude = (token.tid if token is not None and var in pending_vars
                    and token.relation == memory.spec.relation else None)
         batch = self._batch
@@ -609,12 +676,13 @@ class _PrimeContext:
         self.catalog = catalog
 
 
-def equality_constraint(var: str, partial: dict,
-                        conjuncts) -> tuple[int, object] | None:
-    """Constant substitution into a virtual node's predicate (paper §4.2):
-    find an equi-join conjunct linking ``var`` to an already-bound
-    variable and return (position in var's tuple, the bound value) so the
-    virtual memory's base-relation scan can become an index probe.
+def equality_probe(var: str, partial: dict,
+                   conjuncts) -> tuple[int, object, object] | None:
+    """Constant substitution into one join step (paper §4.2): find an
+    equi-join conjunct linking ``var`` to an already-bound variable and
+    return (position in var's tuple, the bound value, the conjunct) so
+    the step can probe an index or hash bucket — and skip re-evaluating
+    the conjunct the probe already enforces.
     """
     for conjunct in conjuncts:
         equi = conjunct.equijoin
@@ -622,8 +690,19 @@ def equality_constraint(var: str, partial: dict,
             continue
         if equi.left_var == var and equi.right_var in partial:
             other = partial[equi.right_var]
-            return (equi.left_position, other.values[equi.right_position])
+            return (equi.left_position, other.values[equi.right_position],
+                    conjunct)
         if equi.right_var == var and equi.left_var in partial:
             other = partial[equi.left_var]
-            return (equi.right_position, other.values[equi.left_position])
+            return (equi.right_position, other.values[equi.left_position],
+                    conjunct)
     return None
+
+
+def equality_constraint(var: str, partial: dict,
+                        conjuncts) -> tuple[int, object] | None:
+    """The (position, value) form of :func:`equality_probe` — the
+    original virtual-node sharpening interface, kept for callers that
+    do not care which conjunct the probe enforces."""
+    probe = equality_probe(var, partial, conjuncts)
+    return None if probe is None else (probe[0], probe[1])

@@ -23,7 +23,7 @@ of each transition's rule processing.
 from __future__ import annotations
 
 from repro.core.alpha import MemoryEntry
-from repro.core.network import DiscriminationNetwork, equality_constraint
+from repro.core.network import DiscriminationNetwork
 from repro.core.pnode import Match
 from repro.core.rules import CompiledRule, JoinConjunct, VariableSpec
 from repro.core.tokens import Token
@@ -35,7 +35,13 @@ class _ReteState:
     """The β chain of one rule."""
 
     def __init__(self, rule: CompiledRule):
-        self.order: list[str] = list(rule.variables)
+        self.set_order(rule, list(rule.variables))
+
+    def set_order(self, rule: CompiledRule, order: list[str]) -> None:
+        """Adopt a chain order: β keys are tid tuples over order
+        prefixes, so this is only safe when the chain is empty (at
+        construction or right after :meth:`clear`)."""
+        self.order: list[str] = list(order)
         #: betas[i] holds partials over order[0..i], keyed by tid tuple
         self.betas: list[dict[tuple, dict[str, MemoryEntry]]] = [
             {} for _ in self.order]
@@ -87,13 +93,21 @@ class ReteNetwork(DiscriminationNetwork):
         self._rebuild(rule)
 
     def _rebuild(self, rule: CompiledRule) -> None:
-        """Recompute the β chain from current α contents."""
+        """Recompute the β chain from current α contents — adopting the
+        planner's cost-driven chain order while the chain is empty (the
+        only safe reorder point: β keys are tid tuples over order
+        prefixes)."""
         state = self._states[rule.name]
         state.clear()
         if len(rule.variables) == 1:
             return
+        order = self.join_planner.chain_order(rule)
+        if order != state.order:
+            state.set_order(rule, order)
         first = self._memories[(rule.name, state.order[0])]
-        for entry in self._alpha_entries(first, {}, []):
+        entries, _ = self._join_candidates(first, state.order[0], {}, [],
+                                           frozenset(), None)
+        for entry in entries:
             self._cascade(rule, state, 0, {state.order[0]: entry},
                           pending_vars=frozenset(), token=None,
                           emit=False)
@@ -156,8 +170,13 @@ class ReteNetwork(DiscriminationNetwork):
         bindings = Bindings()
         for var, entry in partial.items():
             self._bind_entry(bindings, var, entry)
-        for entry in self._alpha_entries(memory, partial, conjuncts,
-                                         pending_vars, token):
+        candidates, enforced = self._join_candidates(
+            memory, next_var, partial, conjuncts, pending_vars, token)
+        if enforced is not None:
+            # the access path already guarantees the probed equi-join
+            # conjunct: evaluate only the residual conjuncts
+            conjuncts = [j for j in conjuncts if j is not enforced]
+        for entry in candidates:
             self._bind_entry(bindings, next_var, entry)
             if all(j.evaluate(bindings) is True for j in conjuncts):
                 extended = dict(partial)
@@ -166,33 +185,6 @@ class ReteNetwork(DiscriminationNetwork):
                               pending_vars, token, emit)
             bindings.current.pop(next_var, None)
             bindings.previous.pop(next_var, None)
-
-    def _alpha_entries(self, memory, partial, conjuncts,
-                       pending_vars: frozenset[str] = frozenset(),
-                       token: Token | None = None):
-        """An α-memory's (conceptual) contents for a rightward join step.
-
-        Stored memories answer from a hash join-index bucket when a bound
-        equi-join conjunct allows.  Virtual memories answer from the base
-        relation, sharpened with an equality constant, under the
-        ProcessedMemories own-tuple exclusion and (on the batched path)
-        the batch overlay — all via the shared base-class helper.
-        """
-        var = memory.spec.var
-        if not memory.is_virtual:
-            equality = equality_constraint(var, partial, conjuncts)
-            if equality is not None:
-                position, value = equality
-                if memory.has_join_index(position):
-                    # Null never satisfies an equi-join conjunct, and any
-                    # entry outside the bucket would fail it anyway.
-                    if value is not None:
-                        yield from memory.join_probe(position, value)
-                    return
-            yield from memory.entries()
-            return
-        yield from self._virtual_entries(memory, var, partial, conjuncts,
-                                         pending_vars, token)
 
     def _handle_delete(self, rule: CompiledRule, tid: TupleId) -> None:
         state = self._states.get(rule.name)

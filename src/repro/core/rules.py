@@ -193,6 +193,18 @@ class CompiledRule:
                          evaluate=compile_expr(j),
                          equijoin=equijoin_of_conjunct(j))
             for j in graph.joins]
+        #: equi-join adjacency: var -> [(other var, attr, position)] for
+        #: every equi-join conjunct touching it — the join planner's
+        #: "reachable through a bound equi-join" lookup
+        self.equijoins_by_var: dict[str, list[tuple[str, str, int]]] = {}
+        for conjunct in self.joins:
+            equi = conjunct.equijoin
+            if equi is None:
+                continue
+            self.equijoins_by_var.setdefault(equi.left_var, []).append(
+                (equi.right_var, equi.left_attr, equi.left_position))
+            self.equijoins_by_var.setdefault(equi.right_var, []).append(
+                (equi.left_var, equi.right_attr, equi.right_position))
 
         self.actions: list[ActionCommand] = self._compile_actions()
         self._validate_previous_in_actions()
@@ -226,9 +238,11 @@ class CompiledRule:
         return frozenset(used) & frozenset(self.variables)
 
     def join_order_from(self, seed_var: str) -> list[str]:
-        """Order the remaining variables for the TREAT join step,
-        preferring variables connected by a join conjunct to the already
-        bound set (avoiding cartesian intermediate results)."""
+        """The *static* join order: the remaining variables, preferring
+        ones connected by a join conjunct to the already bound set
+        (avoiding cartesian intermediate results).  The baseline the
+        cost-driven :class:`~repro.core.join_planner.JoinPlanner`
+        replaces on the seek hot path — and its fallback."""
         bound = {seed_var}
         order: list[str] = []
         remaining = [v for v in self.variables if v != seed_var]

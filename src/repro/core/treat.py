@@ -28,9 +28,9 @@ number of times".
 from __future__ import annotations
 
 from repro.core.alpha import MemoryEntry
-from repro.core.network import DiscriminationNetwork, equality_constraint
+from repro.core.network import DiscriminationNetwork
 from repro.core.pnode import Match
-from repro.core.rules import CompiledRule, JoinConjunct, VariableSpec
+from repro.core.rules import CompiledRule, VariableSpec
 from repro.core.tokens import Token
 from repro.lang.expr import Bindings
 
@@ -62,7 +62,7 @@ class TreatNetwork(DiscriminationNetwork):
         if stats.enabled:
             counters = stats.counters
             counters["joins.seeks"] = counters.get("joins.seeks", 0) + 1
-        order = rule.join_order_from(seed_var)
+        order = self.join_planner.order(rule, seed_var)
         partial: dict[str, MemoryEntry] = {seed_var: seed_entry}
         bindings = Bindings()
         self._bind(bindings, seed_var, seed_entry)
@@ -91,9 +91,14 @@ class TreatNetwork(DiscriminationNetwork):
                      if j.variables <= bound
                      and not j.variables <= set(partial)]
         memory = self._memories[(rule.name, var)]
+        candidates, enforced = self._join_candidates(
+            memory, var, partial, conjuncts, pending_vars, token)
+        if enforced is not None:
+            # the access path (index probe / sharpened scan) already
+            # guarantees the probed conjunct: evaluate only the residue
+            conjuncts = [j for j in conjuncts if j is not enforced]
         matched = False
-        for entry in self._candidates(memory, var, partial, conjuncts,
-                                      pending_vars, token):
+        for entry in candidates:
             self._bind(bindings, var, entry)
             if all(j.evaluate(bindings) is True for j in conjuncts):
                 partial[var] = entry
@@ -103,25 +108,6 @@ class TreatNetwork(DiscriminationNetwork):
                 del partial[var]
             self._unbind(bindings, var, entry)
         return matched
-
-    def _candidates(self, memory, var: str,
-                    partial: dict[str, MemoryEntry],
-                    conjuncts: list[JoinConjunct],
-                    pending_vars: set[str], token: Token):
-        if not memory.is_virtual:
-            equality = equality_constraint(var, partial, conjuncts)
-            if equality is not None:
-                position, value = equality
-                if memory.has_join_index(position):
-                    # Null never satisfies an equi-join conjunct, and any
-                    # entry outside the bucket would fail it anyway.
-                    if value is not None:
-                        yield from memory.join_probe(position, value)
-                    return
-            yield from memory.entries()
-            return
-        yield from self._virtual_entries(memory, var, partial, conjuncts,
-                                         pending_vars, token)
 
     # ------------------------------------------------------------------
 

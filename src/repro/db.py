@@ -99,6 +99,11 @@ class Database:
         Capacity of the transparent LRU plan cache inside
         :meth:`execute` (0 disables it).  Explicitly prepared statements
         (:meth:`prepare`) are unaffected by this bound.
+    join_index_policy:
+        ``"demand"`` (default) promotes α-memory hash join-indexes at
+        runtime once an equality-probed position accumulates enough
+        full-scan cost; ``"eager"`` builds them for every equi-join
+        position at rule activation (the pre-adaptive behaviour).
     """
 
     def __init__(self, network: str = "a-treat",
@@ -107,7 +112,8 @@ class Database:
                  cache_action_plans: bool = False,
                  selection_index: SelectionIndex | None = None,
                  batch_tokens: bool = False,
-                 statement_cache_size: int = 128):
+                 statement_cache_size: int = 128,
+                 join_index_policy: str = "demand"):
         try:
             network_cls, default_policy = _NETWORKS[network.lower()]
         except KeyError:
@@ -125,7 +131,8 @@ class Database:
         self.manager = RuleManager(
             self.catalog, self.optimizer, network_cls,
             virtual_policy or default_policy, selection_index,
-            max_rule_cascade=max_firings, stats=self.stats)
+            max_rule_cascade=max_firings, stats=self.stats,
+            join_index_policy=join_index_policy)
         self.deltasets = DeltaSets()
         self.undo = UndoLog()
         self.hooks = TransitionHooks(self.catalog, self.deltasets,
@@ -156,6 +163,12 @@ class Database:
         self._in_transaction = False
         self._implicit_scope = False
         self._pnode_snapshots = None
+        # feedback-driven α-memory adaptation (off until enabled)
+        self._adapt_every = 0
+        self._adapt_budget = 0.0
+        self._adapt_weights: dict[str, float] | None = None
+        self._adapt_countdown = 0
+        self._adapting = False
 
     @property
     def max_firings(self) -> int:
@@ -514,6 +527,56 @@ class Database:
         # Deliver trigger notifications only after the cycle settles, so
         # subscribers always observe a consistent post-cascade state.
         self.subscriptions.deliver()
+        self._maybe_adapt_memories()
+
+    # ------------------------------------------------------------------
+    # feedback-driven α-memory adaptation (paper §8)
+    # ------------------------------------------------------------------
+
+    def adapt_memories(self, budget_entries: float,
+                       weights: dict[str, float] | None = None):
+        """One feedback-driven materialization step: re-plan stored vs
+        virtual from the observed per-memory probe counters under a
+        storage budget, rebuild only the rules whose decision flipped,
+        and reset the counters.  Returns the
+        :class:`~repro.core.memory_optimizer.MemoryPlan`."""
+        from repro.core.memory_optimizer import adapt_memories
+        self._adapting = True
+        try:
+            plan, flipped = adapt_memories(self, budget_entries, weights)
+        finally:
+            self._adapting = False
+        if self.stats.enabled:
+            self.stats.bump("memory.adaptations")
+            if flipped:
+                self.stats.bump("memory.flips", flipped)
+        return plan
+
+    def enable_memory_adaptation(self, budget_entries: float,
+                                 every: int = 100,
+                                 weights: dict[str, float] | None = None
+                                 ) -> None:
+        """Run :meth:`adapt_memories` automatically every ``every``
+        completed transitions (outside explicit transactions)."""
+        if every <= 0:
+            raise ArielError("adaptation interval must be positive")
+        self._adapt_every = every
+        self._adapt_budget = float(budget_entries)
+        self._adapt_weights = weights
+        self._adapt_countdown = every
+
+    def disable_memory_adaptation(self) -> None:
+        self._adapt_every = 0
+
+    def _maybe_adapt_memories(self) -> None:
+        if not self._adapt_every or self._adapting \
+                or self._in_transaction:
+            return
+        self._adapt_countdown -= 1
+        if self._adapt_countdown > 0:
+            return
+        self._adapt_countdown = self._adapt_every
+        self.adapt_memories(self._adapt_budget, self._adapt_weights)
 
     def _fire(self, rule: CompiledRule) -> None:
         """One act step: consume the P-node and run the action as a

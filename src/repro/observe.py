@@ -27,6 +27,9 @@ docs/ARCHITECTURE.md, "Observing the engine"):
 ``agenda.*``           conflict-resolution selections and stale pruning
 ``rules.*``            firings, matches consumed, cascade depth
 ``tokens.*``           tokens routed, batches propagated
+``joins.*``            seek planning (orders planned / cache hits,
+                       β chains planned, unindexed equality probes)
+``memory.*``           feedback-driven α-memory adaptation (runs, flips)
 ``stmt_cache.*``       transparent statement-cache hits / misses
 ``plan_cache.*``       prepared-statement executions / replans
 ``actions.*``          rule-action plans built

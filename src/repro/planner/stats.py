@@ -120,6 +120,14 @@ class Statistics:
             return RANGE_DEFAULT
         return OTHER_DEFAULT
 
+    def equijoin_bucket(self, relation_name: str, attribute: str,
+                        rows: float) -> float:
+        """Expected matches of one equality probe into ``rows`` tuples
+        drawn from ``relation`` — rows over the attribute's distinct
+        count.  The join planner's estimate of a hash-bucket (or index
+        probe) result size."""
+        return rows / max(self.distinct(relation_name, attribute), 1)
+
     def scan_cardinality(self, relation_name: str, var: str,
                          conjuncts: list[ast.Expr]) -> float:
         """Estimated output rows of scanning with pushed selections."""

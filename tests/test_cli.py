@@ -110,6 +110,33 @@ class TestMetaCommands:
         assert "simple-α" in text
         assert "delete' P.t" in text
 
+    def test_plan_shows_join_order_and_indexes(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create l (k = int4);",
+                   "create r (k = int4);",
+                   "append r(k = 1);",
+                   "define rule j if l.k = r.k then delete l;",
+                   "\\plan j")
+        text = output_of(out)
+        assert "join plan for rule j" in text
+        assert "seek from l: l -> r" in text
+        assert "join-index(es)" in text or "virtual" in text
+
+    def test_plan_usage_and_unknown_rule(self, shell):
+        sh, out = shell
+        feed_lines(sh, "\\plan")
+        assert "usage: \\plan" in output_of(out)
+        feed_lines(sh, "\\plan nope")
+        assert "error:" in output_of(out)
+
+    def test_plan_inactive_rule(self, shell):
+        sh, out = shell
+        feed_lines(sh, "create t (a = int4);",
+                   "define rule r if t.a > 5 then delete t;",
+                   "deactivate rule r;",
+                   "\\plan r")
+        assert "not active" in output_of(out)
+
     def test_explain(self, shell):
         sh, out = shell
         feed_lines(sh, "create t (a = int4);",

@@ -4,7 +4,8 @@ import pytest
 
 from repro import Database
 from repro.core.memory_optimizer import (
-    apply_plan, optimize_memories, plan_memories)
+    MemoryChoice, _density_key, apply_plan, optimize_memories,
+    plan_memories)
 
 
 @pytest.fixture
@@ -68,6 +69,37 @@ class TestPlanning:
         assert "memory plan" in text
         assert "wide/big" in text
 
+    def test_knapsack_never_exceeds_budget(self, db):
+        for budget in (0, 5, 25, 60, 100, 195, 10000):
+            plan = plan_memories(db, budget_entries=budget)
+            assert plan.used_budget() <= budget
+
+    def test_decision_unknown_memory_is_none(self, db):
+        plan = plan_memories(db, budget_entries=60)
+        assert plan.decision("wide", "nope") is None
+        assert plan.decision("ghost", "big") is None
+
+    def test_worth_tie_break_is_deterministic(self):
+        # four candidates with identical benefit density: the knapsack
+        # must order them by (rule, var), not dict/sort happenstance
+        ties = [MemoryChoice(rule, var, "r", 10.0, 20.0, False)
+                for rule in ("b_rule", "a_rule")
+                for var in ("y", "x")]
+        ordered = sorted(ties, key=_density_key)
+        assert [(c.rule_name, c.var) for c in ordered] == [
+            ("a_rule", "x"), ("a_rule", "y"),
+            ("b_rule", "x"), ("b_rule", "y")]
+
+    def test_observed_planning_falls_back_to_uniform(self, db):
+        # nothing has been probed yet: observed mode must reproduce the
+        # uniform-frequency plan rather than zeroing every benefit
+        uniform = plan_memories(db, budget_entries=60)
+        observed = plan_memories(db, budget_entries=60, observed=True)
+        assert [(c.rule_name, c.var, c.materialize)
+                for c in observed.choices] == \
+               [(c.rule_name, c.var, c.materialize)
+                for c in uniform.choices]
+
     def test_simple_and_dynamic_memories_excluded(self, db):
         db.execute("define rule ev on append big "
                    "then append to log(a = big.a)")
@@ -120,3 +152,29 @@ class TestApplying:
         plan = plan_memories(db, budget_entries=60)
         assert apply_plan(db, plan) == 1
         assert not db.manager.rule("wide").active
+
+    def test_applied_plan_matches_heap_rebuild(self, db):
+        """P-node contents after apply_plan must equal a from-scratch
+        rebuild (deactivate + reactivate under the default policy maps
+        every memory back to stored, re-priming from the heap)."""
+        def pnode_sets():
+            return {
+                name: sorted(
+                    tuple(sorted((var, entry.values)
+                                 for var, entry in m.bindings))
+                    for m in db.network.pnode(name).matches())
+                for name in ("wide", "narrow")}
+
+        optimize_memories(db, budget_entries=60)
+        after_plan = pnode_sets()
+        for name in ("wide", "narrow"):
+            db.manager.deactivate(name)
+            db.manager.activate(name)
+        assert pnode_sets() == after_plan
+
+    def test_only_changes_skips_agreeing_rules(self, db):
+        plan = plan_memories(db, budget_entries=60)
+        assert apply_plan(db, plan) == 2
+        # same plan again: every memory already agrees, nothing rebuilt
+        assert apply_plan(db, plan, only_changes=True) == 0
+        assert apply_plan(db, plan) == 2   # default still rebuilds all
