@@ -16,17 +16,20 @@ Entry point::
 
 from repro.db import Database
 from repro.errors import (
-    ArielError, CatalogError, ExecutionError, ParseError, PlanError,
-    RuleError, RuleLoopError, SemanticError, StorageError,
-    TransactionError)
+    ArielError, CatalogError, DegradedError, DurabilityError,
+    ExecutionError, ParseError, PlanError, RuleError, RuleLoopError,
+    SemanticError, StorageError, TransactionError, WalCorruptError)
+from repro.faults import FaultRegistry, SimulatedCrash
 from repro.observe import EngineStats, TraceHub
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Database", "EngineStats", "TraceHub",
-    "ArielError", "CatalogError", "ExecutionError", "ParseError",
-    "PlanError", "RuleError", "RuleLoopError", "SemanticError",
-    "StorageError", "TransactionError",
+    "FaultRegistry", "SimulatedCrash",
+    "ArielError", "CatalogError", "DegradedError", "DurabilityError",
+    "ExecutionError", "ParseError", "PlanError", "RuleError",
+    "RuleLoopError", "SemanticError", "StorageError",
+    "TransactionError", "WalCorruptError",
     "__version__",
 ]

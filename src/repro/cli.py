@@ -25,7 +25,11 @@ inspect the system:
 ``\\exec``      ``\\exec <name> [k=v ...]`` — run a prepared statement
                (positional literals fill ``$1``-style parameters)
 ``\\dump file`` write the database as an ARL script
-``\\load file`` replace the session database from a dump
+``\\load file`` replace the session database from a dump (the current
+               database is kept if the load fails)
+``\\wal``       durability status: WAL path, generation, record count,
+               fsync policy, degraded state
+``\\checkpoint``  force a checkpoint (durable databases only)
 ``\\q``         quit
 =============  ====================================================
 
@@ -213,23 +217,58 @@ class Shell:
                     persist.dump(self.db, argument)
                     self._print(f"dumped to {argument}")
             elif command == "\\load":
-                if not argument:
-                    self._print("usage: \\load <file>")
-                else:
-                    from repro import persist
-                    self.db = persist.load(argument)
-                    # the trace registration died with the old database
-                    self._trace_token = None
-                    self._print(f"loaded {argument} (fresh database)")
+                self._load(argument)
+            elif command == "\\wal":
+                self._wal_status()
+            elif command == "\\checkpoint":
+                self.db.checkpoint()
+                self._print("checkpoint complete")
             else:
                 self._print(f"unknown meta-command {command!r} "
                             f"(try \\d, \\rules, \\rule, \\plan, "
                             f"\\explain, \\begin, \\commit, \\abort, "
                             f"\\net, \\stats, \\trace, \\timing, "
-                            f"\\prepare, \\exec, \\dump, \\load, \\q)")
-        except (ArielError, OSError) as exc:
+                            f"\\prepare, \\exec, \\dump, \\load, "
+                            f"\\wal, \\checkpoint, \\q)")
+        except (ArielError, OSError, UnicodeError) as exc:
             self._print(f"error: {exc}")
         return True
+
+    def _load(self, argument: str) -> None:
+        """Replace the session database from a dump file.
+
+        The dump loads into a *fresh* database first; the session swaps
+        over only on success, so a malformed or unreadable file leaves
+        the current database untouched.
+        """
+        if not argument:
+            self._print("usage: \\load <file>")
+            return
+        from repro import persist
+        try:
+            loaded = persist.load(argument)
+        except (ArielError, OSError, UnicodeError) as exc:
+            self._print(f"error: could not load {argument}: {exc}")
+            self._print("the session database is unchanged")
+            return
+        self.db = loaded
+        # the trace registration died with the old database
+        self._trace_token = None
+        self._print(f"loaded {argument} (fresh database)")
+
+    def _wal_status(self) -> None:
+        info = self.db.wal_info()
+        if info is None:
+            self._print("database is in-memory (no durable path)")
+            return
+        self._print(f"durable path        {info['path']}")
+        self._print(f"fsync policy        {info['fsync']}")
+        self._print(f"wal generation      {info['generation']}")
+        self._print(f"wal records         {info['records']}")
+        self._print(f"pending entries     {info['pending']}")
+        self._print(f"checkpoint every    {info['checkpoint_every']}")
+        degraded = info["degraded"] or "no"
+        self._print(f"degraded            {degraded}")
 
     def _trace(self, argument: str) -> None:
         if argument == "on":

@@ -35,9 +35,11 @@ from repro.core.rules import CompiledRule
 from repro.core.selection_index import SelectionIndex
 from repro.core.treat import TreatNetwork
 from repro.errors import (
-    ArielError, ExecutionError, TransactionError)
+    ArielError, DegradedError, DurabilityError, ExecutionError,
+    TransactionError, WalCorruptError)
 from repro.executor.executor import (
     DmlResult, ExecutionContext, Executor, ResultSet)
+from repro.faults import FaultRegistry, SimulatedCrash
 from repro.lang import ast_nodes as ast
 from repro.lang.parser import parse_command, parse_script
 from repro.lang.semantic import SemanticAnalyzer
@@ -45,14 +47,33 @@ from repro.observe import EngineStats, TraceHub
 from repro.planner.optimizer import Optimizer, PlannedCommand
 from repro.planner.plans import explain as explain_plan, instrument
 from repro.prepared import Prepared, StatementCache, is_cacheable
+from repro.txn.durability import DurabilityManager
 from repro.txn.transitions import TransitionHooks
 from repro.txn.undo import UndoLog
+from repro.txn.wal import decode_values
 
 _NETWORKS = {
     "a-treat": (TreatNetwork, "auto"),
     "treat": (TreatNetwork, "never"),
     "rete": (ReteNetwork, "never"),
 }
+
+
+def _values_equal(a: tuple, b: tuple) -> bool:
+    """Tuple equality treating NaN as equal to itself, so WAL replay
+    can locate any stored row by value."""
+    return len(a) == len(b) and all(
+        x == y or (x != x and y != y) for x, y in zip(a, b))
+
+
+def _read_only_command(command: ast.Command) -> bool:
+    """Commands a degraded (read-only) database may still serve."""
+    if isinstance(command, ast.Retrieve):
+        return command.into is None
+    if isinstance(command, ast.Explain):
+        return (not command.analyze) \
+            or _read_only_command(command.command)
+    return False
 
 
 @dataclass(frozen=True)
@@ -104,6 +125,20 @@ class Database:
         runtime once an equality-probed position accumulates enough
         full-scan cost; ``"eager"`` builds them for every equi-join
         position at rule activation (the pre-adaptive behaviour).
+    durable_path:
+        Directory for durable state (a checkpoint script plus a
+        write-ahead log of committed transitions).  Starts *fresh*: an
+        existing durable state there is refused — reopen one with
+        :meth:`Database.recover` instead.  None (the default) keeps the
+        database purely in memory.
+    fsync:
+        WAL fsync policy: ``"always"`` (every record), ``"commit"``
+        (every durable boundary; the default) or ``"never"`` (flush
+        only).  Ignored without ``durable_path``.
+    checkpoint_every:
+        Auto-checkpoint once the WAL holds this many records (0
+        disables automatic checkpoints; :meth:`checkpoint` still
+        works).  Ignored without ``durable_path``.
     """
 
     def __init__(self, network: str = "a-treat",
@@ -113,7 +148,10 @@ class Database:
                  selection_index: SelectionIndex | None = None,
                  batch_tokens: bool = False,
                  statement_cache_size: int = 128,
-                 join_index_policy: str = "demand"):
+                 join_index_policy: str = "demand",
+                 durable_path=None,
+                 fsync: str = "commit",
+                 checkpoint_every: int = 1000):
         try:
             network_cls, default_policy = _NETWORKS[network.lower()]
         except KeyError:
@@ -158,11 +196,20 @@ class Database:
         #: transparent LRU of plans for repeated ad-hoc DML text
         self.statement_cache = StatementCache(statement_cache_size,
                                               stats=self.stats)
+        #: deterministic fault points for durability testing (see
+        #: :mod:`repro.faults`); tests arm them, production never does
+        self.faults = FaultRegistry(stats=self.stats)
         self._cycle_running = False
         self._rules_suspended = False
         self._in_transaction = False
         self._implicit_scope = False
         self._pnode_snapshots = None
+        self._durability: DurabilityManager | None = None
+        if durable_path is not None:
+            self._durability = DurabilityManager(
+                self, durable_path, fsync=fsync,
+                checkpoint_every=checkpoint_every, mode="fresh")
+            self.hooks.journal = self._durability
         # feedback-driven α-memory adaptation (off until enabled)
         self._adapt_every = 0
         self._adapt_budget = 0.0
@@ -179,6 +226,178 @@ class Database:
     @max_firings.setter
     def max_firings(self, value: int) -> None:
         self.manager.max_rule_cascade = value
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, durable_path, *, fsync: str = "commit",
+                checkpoint_every: int = 1000, **database_kwargs
+                ) -> Database:
+        """Reopen a durable database from its directory.
+
+        Loads the checkpoint script with rules suspended (exactly like
+        :func:`repro.persist.loads`), then replays the WAL suffix —
+        still suspended, because the log already contains every
+        rule-generated mutation, so re-firing would double them.  Token
+        routing during replay re-primes the α-memories and P-nodes;
+        the final state equals a fresh database that executed only the
+        durably-committed prefix of history.
+        """
+        db = cls(**database_kwargs)
+        manager = DurabilityManager(
+            db, durable_path, fsync=fsync,
+            checkpoint_every=checkpoint_every, mode="recover")
+        try:
+            db._apply_recovery(manager.pending_script,
+                               manager.pending_records)
+        finally:
+            manager.pending_script = None
+            manager.pending_records = []
+        db._durability = manager
+        db.hooks.journal = manager
+        manager.maybe_checkpoint()
+        return db
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint: dump the database, atomically swap it in
+        and truncate the WAL.  Requires ``durable_path``."""
+        if self._durability is None:
+            raise DurabilityError("database has no durable path")
+        if self._in_transaction:
+            raise TransactionError(
+                "cannot checkpoint inside an open transaction")
+        self._require_writable("checkpoint")
+        self._durability.flush_boundary(sync=True)
+        self._durability.checkpoint()
+
+    def close(self) -> None:
+        """Flush and close the durable state (no-op when in-memory)."""
+        d = self._durability
+        if d is not None:
+            if not d.crashed and d.degraded is None:
+                d.flush_boundary(sync=True)
+            d.close()
+
+    @property
+    def degraded(self) -> str | None:
+        """Why the database is read-only (None while healthy)."""
+        return self._durability.degraded if self._durability else None
+
+    def wal_info(self) -> dict | None:
+        """Durability status (None for an in-memory database)."""
+        d = self._durability
+        if d is None:
+            return None
+        return {
+            "path": str(d.dir),
+            "fsync": d.fsync,
+            "generation": d.wal.generation,
+            "records": d.wal.data_records,
+            "pending": len(d._buffer),
+            "checkpoint_every": d.checkpoint_every,
+            "degraded": d.degraded,
+        }
+
+    def _apply_recovery(self, script: str, records: list) -> None:
+        """Load checkpoint + WAL with rule firing suspended, then settle
+        exactly as :func:`repro.persist.loads` does."""
+        self._rules_suspended = True
+        try:
+            if script.strip():
+                self.execute_script(script)
+            for record in records:
+                self._replay_wal_record(record)
+                self.stats.bump("recovery.replayed")
+            for name in self.manager.active_rules():
+                self.network.pnode(name).clear()
+            self.manager.agenda.clear()
+            self.network.flush_dynamic()
+        finally:
+            self._rules_suspended = False
+
+    def _replay_wal_record(self, record: list) -> None:
+        """Re-apply one logged transition through the hooks (no rule
+        firing; tokens still route, keeping the network in step)."""
+        for entry in record:
+            kind = entry[0]
+            if kind == "stmt":
+                self._dispatch(self.analyzer.analyze(
+                    parse_command(entry[1])))
+            elif kind == "i":
+                self.hooks.insert(entry[1], decode_values(entry[2]))
+            elif kind == "d":
+                values = decode_values(entry[2])
+                self.hooks.delete(entry[1],
+                                  self._locate_tuple(entry[1], values))
+            elif kind == "r":
+                before = decode_values(entry[2])
+                self.hooks.replace(entry[1],
+                                   self._locate_tuple(entry[1], before),
+                                   decode_values(entry[3]))
+            else:
+                raise WalCorruptError(
+                    f"unknown WAL entry kind {kind!r}")
+        self.hooks.flush_tokens()
+        self.deltasets.clear()
+        self.manager.end_of_rule_processing()
+
+    def _locate_tuple(self, relation_name: str, values: tuple):
+        """The TID currently holding ``values`` — replay targets tuples
+        by value because TIDs are not stable across checkpoint reload."""
+        for stored in self.catalog.relation(relation_name).scan():
+            if _values_equal(stored.values, values):
+                return stored.tid
+        raise WalCorruptError(
+            f"replayed mutation found no tuple {values!r} in "
+            f"{relation_name}")
+
+    def _require_writable(self, what: str) -> None:
+        d = self._durability
+        if d is not None and d.degraded is not None:
+            raise DegradedError(
+                f"cannot {what}: database is read-only "
+                f"({d.degraded})", path=d.wal_path)
+
+    def _journal_statement(self, command: ast.Command) -> None:
+        d = self._durability
+        if d is not None and not d.crashed:
+            d.journal_statement(ast.deparse(command),
+                                sync=not self._in_transaction)
+
+    def _durable_boundary(self) -> None:
+        """Flush the journaled transition at a successful implicit
+        boundary, then maybe checkpoint."""
+        d = self._durability
+        if d is None or d.crashed:
+            return
+        try:
+            d.flush_boundary(sync=True)
+            if not self._in_transaction:
+                d.maybe_checkpoint()
+        except SimulatedCrash:
+            d.mark_crashed()
+            raise
+
+    def _durable_settle(self, exc: BaseException) -> None:
+        """Durability bookkeeping for a failed implicit transition: a
+        simulated crash loses the in-flight record; any other error
+        still flushes, because the heap kept the completed effects."""
+        d = self._durability
+        if d is None or d.crashed:
+            return
+        if isinstance(exc, SimulatedCrash):
+            d.mark_crashed()
+            return
+        try:
+            d.flush_boundary(sync=True)
+        except SimulatedCrash:
+            d.mark_crashed()
+        except DurabilityError:
+            # degraded mode is already recorded; surfacing it here
+            # would mask the error that broke the transition
+            pass
 
     # ------------------------------------------------------------------
     # command execution
@@ -310,6 +529,7 @@ class Database:
         """Open a transaction: subsequent commands can be aborted."""
         if self._in_transaction:
             raise TransactionError("transaction already open")
+        self._require_writable("begin a transaction")
         self._in_transaction = True
         # Undo-replay restores α-memories exactly, but P-nodes are not
         # symmetric under it: a match consumed by a pre-transaction
@@ -323,12 +543,25 @@ class Database:
         self.undo.begin()
 
     def commit(self) -> None:
-        """Close the open transaction, keeping its effects."""
+        """Close the open transaction, keeping its effects.
+
+        For a durable database the transaction's journaled mutations
+        hit the WAL here, as one record at a sync boundary — nothing of
+        an uncommitted transaction ever reaches the log.
+        """
         if not self._in_transaction:
             raise TransactionError("no open transaction")
+        d = self._durability
+        if d is not None and not d.crashed:
+            try:
+                self.faults.hit("txn.commit")
+            except SimulatedCrash:
+                d.mark_crashed()
+                raise
         self._in_transaction = False
         self._pnode_snapshots = None
         self.undo.commit()
+        self._durable_boundary()
 
     def abort(self) -> None:
         """Undo every mutation of the open transaction.
@@ -355,6 +588,12 @@ class Database:
             self._pnode_snapshots = None
         finally:
             self._rules_suspended = False
+        # The journal buffered the transaction's mutations *and* their
+        # undo compensations (both flowed through the hooks), so the
+        # flushed record replays to the heap the abort left behind —
+        # including non-transactional side effects like DDL that forced
+        # a mid-transaction flush.
+        self._durable_boundary()
 
     def _replay_undo(self) -> None:
         """Replay the undo log's inverses through the transition hooks,
@@ -392,10 +631,13 @@ class Database:
             return
         self._implicit_scope = True
         try:
-            yield
-        except BaseException:
-            self._settle_after_error()
-            raise
+            try:
+                yield
+            except BaseException as exc:
+                self._settle_after_error()
+                self._durable_settle(exc)
+                raise
+            self._durable_boundary()
         finally:
             self._implicit_scope = False
 
@@ -416,27 +658,36 @@ class Database:
     # ------------------------------------------------------------------
 
     def _dispatch(self, command: ast.Command):
+        if not _read_only_command(command):
+            self._require_writable("execute a mutating command")
         if isinstance(command, ast.CreateRelation):
             schema = Schema.of(**{c.name: c.type_name
                                   for c in command.columns})
             relation = self.catalog.create_relation(command.name, schema)
             self.deltasets.register_schema(command.name, schema)
+            self._journal_statement(command)
             return None
         # DDL paths need no explicit plan-cache invalidation: the catalog
         # bumps its version, and both the statement cache and the action
         # planner check it lazily before reusing a plan.
         if isinstance(command, ast.DestroyRelation):
             self.catalog.destroy_relation(command.name)
+            self._journal_statement(command)
             return None
         if isinstance(command, ast.DefineIndex):
             self.catalog.create_index(command.name, command.relation,
                                       command.attribute, command.kind)
+            self._journal_statement(command)
             return None
         if isinstance(command, ast.RemoveIndex):
             self.catalog.destroy_index(command.name)
+            self._journal_statement(command)
             return None
         if isinstance(command, ast.DefineRule):
             self.manager.define(command, activate=True)
+            # Journal the definition ahead of the mutations its priming
+            # cycle may generate, so replay order matches execution.
+            self._journal_statement(command)
             # Priming may have matched existing data; give the rule the
             # opportunity to run, as after any transition.
             with self._recovery_scope():
@@ -445,14 +696,17 @@ class Database:
         if isinstance(command, ast.RemoveRule):
             self.manager.remove(command.name)
             self.action_planner.invalidate(command.name)
+            self._journal_statement(command)
             return None
         if isinstance(command, ast.ActivateRule):
             self.manager.activate(command.name)
+            self._journal_statement(command)
             with self._recovery_scope():
                 self._run_rule_cycle()
             return None
         if isinstance(command, ast.DeactivateRule):
             self.manager.deactivate(command.name)
+            self._journal_statement(command)
             return None
         if isinstance(command, ast.Explain):
             return self._run_explain(command)
@@ -483,6 +737,8 @@ class Database:
     def _execute_planned(self, planned, params: dict[str, object] | None):
         """Run a cached plan as one transition (the prepared-statement
         execution path: no parse/analyze/plan work)."""
+        if not _read_only_command(planned.command):
+            self._require_writable("execute a mutating command")
         with self._recovery_scope():
             result = self.executor.run(planned, params)
             self._note_plan_executed(planned)
@@ -496,6 +752,7 @@ class Database:
         Δ-set through the discrimination network as a single batch (the
         set-oriented fast path; values are coerced like ``append``).
         Returns the number of tuples inserted."""
+        self._require_writable("bulk-append")
         with self._recovery_scope():
             tids = self.hooks.insert_many(relation, rows)
             self.hooks.flush_tokens()
@@ -584,6 +841,7 @@ class Database:
         matches = self.manager.consume_matches(rule)
         if not len(matches):
             return
+        self.faults.hit("rule.fire")
         self.firings += 1
         if self.trace_firings:
             self.firing_log.append(FiringRecord(

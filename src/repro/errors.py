@@ -4,6 +4,27 @@ All library errors derive from :class:`ArielError` so callers can catch one
 base class.  The hierarchy mirrors the processing pipeline: lexing/parsing,
 semantic analysis, catalog/schema management, storage, planning/execution,
 and the rule system.
+
+::
+
+    ArielError
+    ├── ParseError            lexer / parser
+    ├── SemanticError         semantic analysis
+    ├── CatalogError          catalog management
+    ├── StorageError          heap / index storage
+    ├── PlanError             query optimizer
+    ├── ExecutionError        plan interpretation
+    ├── RuleError             rule system
+    │   └── RuleLoopError     recognize-act cascade guard
+    ├── TransactionError      transaction / block misuse
+    └── DurabilityError       write-ahead log and checkpointing
+        ├── WalCorruptError   unreadable / corrupt WAL record
+        └── DegradedError     database degraded to read-only mode
+
+The durability family carries location context: :attr:`DurabilityError.path`
+names the durable file involved and :attr:`DurabilityError.offset` the byte
+offset of the record at fault (either may be None when not applicable), so
+operators can find the damage without re-parsing the message text.
 """
 
 from __future__ import annotations
@@ -74,3 +95,38 @@ class RuleLoopError(RuleError):
 class TransactionError(ArielError):
     """Raised for misuse of transactions or transition blocks (nested
     ``do ... end`` blocks, commit without begin, and similar)."""
+
+
+class DurabilityError(ArielError):
+    """Base class for durability-layer failures (write-ahead logging,
+    checkpointing, recovery).
+
+    Carries the durable file's ``path`` and, when known, the byte
+    ``offset`` of the record involved.
+    """
+
+    def __init__(self, message: str, path=None, offset: int | None = None):
+        context = []
+        if path is not None:
+            context.append(f"path {path}")
+        if offset is not None:
+            context.append(f"offset {offset}")
+        if context:
+            message = f"{message} ({', '.join(context)})"
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+        self.offset = offset
+
+
+class WalCorruptError(DurabilityError):
+    """Raised when a write-ahead-log record cannot be trusted: a CRC
+    mismatch or undecodable payload *followed by further data* (a bad
+    final record is a torn tail and is silently truncated instead), or
+    an unreadable generation header."""
+
+
+class DegradedError(DurabilityError):
+    """Raised on write attempts after the database degraded to read-only
+    mode — the WAL exhausted its write retries, so accepting further
+    mutations would silently break the durability guarantee.  Reads are
+    still served."""

@@ -257,6 +257,9 @@ class Executor:
             columns[name] = _type_name_for(sample)
         schema = Schema.of(**columns)
         self.context.catalog.create_relation(relation_name, schema)
+        notify = getattr(self.context.hooks, "relation_created", None)
+        if notify is not None:
+            notify(relation_name, schema)
         for row in result.rows:
             self.context.hooks.insert(relation_name, row)
 

@@ -1,0 +1,151 @@
+"""Deterministic fault injection for durability testing.
+
+A :class:`FaultRegistry` holds named *fault points* — places in the
+engine that call :meth:`FaultRegistry.hit` before performing a fragile
+operation.  Tests arm a point to make that operation fail in a chosen,
+reproducible way:
+
+* raise an :class:`OSError` a bounded number of times (exercises the
+  WAL's retry-with-backoff path),
+* raise :class:`SimulatedCrash` (models the process dying at exactly
+  that instruction — recovery tests then reopen the durable files),
+* write only a fraction of a WAL record before crashing (a *torn
+  write*, exercises torn-tail truncation on reopen).
+
+The registered points are:
+
+===================  ====================================================
+``wal.append``       before a WAL record's bytes are written
+``wal.fsync``        before ``os.fsync`` on the WAL file
+``checkpoint.rename``  before the atomic checkpoint rename
+``txn.commit``       inside ``Database.commit`` before the durable flush
+``rule.fire``        before a selected rule instantiation executes
+===================  ====================================================
+
+Every injected fault bumps the ``faults.injected`` counter on the
+owning database's :class:`~repro.observe.EngineStats`, so ``\\stats``
+shows how much havoc a test run wrought.
+
+:class:`SimulatedCrash` deliberately subclasses :class:`BaseException`,
+not :class:`Exception`: a crash must not be swallowed by the WAL's
+``except OSError`` retry loop nor by any general error-recovery
+``except Exception`` — it should unwind to the test harness exactly as
+``kill -9`` would end the process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: the fault points the engine exposes; arming any other name is an error
+POINTS = frozenset({
+    "wal.append", "wal.fsync", "checkpoint.rename", "txn.commit",
+    "rule.fire",
+})
+
+
+class SimulatedCrash(BaseException):
+    """The process "dies" here.
+
+    BaseException so that no recovery path in the engine can catch it;
+    the test harness catches it at top level and then exercises
+    recovery against the on-disk state left behind.
+    """
+
+
+@dataclass
+class _Arming:
+    error: BaseException | None = None
+    times: int = 1
+    after: int = 0
+    crash: bool = False
+    torn: float | None = None
+    hits: int = 0          # times this point was reached while armed
+    injected: int = 0      # times a fault actually fired
+
+
+@dataclass
+class FaultRegistry:
+    """Armed fault points for one database instance."""
+
+    stats: object = None
+    _armed: dict[str, _Arming] = field(default_factory=dict)
+
+    def arm(self, point: str, *, error: BaseException | None = None,
+            times: int = 1, after: int = 0, crash: bool = False,
+            torn: float | None = None) -> None:
+        """Arm ``point`` to misbehave.
+
+        ``after`` hits pass through cleanly first; then either ``crash``
+        (raise :class:`SimulatedCrash`; with ``torn`` set on
+        ``wal.append``, write that fraction of the record first) or
+        raise ``error`` (default ``OSError``) on the next ``times``
+        hits, after which the point behaves normally again.
+        """
+        if point not in POINTS:
+            raise ValueError(f"unknown fault point {point!r}; "
+                             f"known: {sorted(POINTS)}")
+        if torn is not None and point != "wal.append":
+            raise ValueError("torn writes only apply to 'wal.append'")
+        if torn is not None and not crash:
+            raise ValueError("torn writes require crash=True")
+        self._armed[point] = _Arming(error=error, times=times, after=after,
+                                     crash=crash, torn=torn)
+
+    def disarm(self, point: str | None = None) -> None:
+        """Disarm ``point``, or every point when ``point`` is None."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._armed.pop(point, None)
+
+    def armed(self, point: str) -> bool:
+        return point in self._armed
+
+    # ------------------------------------------------------------------
+    # engine-side API
+
+    def hit(self, point: str) -> None:
+        """Called by the engine as it reaches ``point``; may raise."""
+        arming = self._armed.get(point)
+        if arming is None:
+            return
+        arming.hits += 1
+        if arming.hits <= arming.after:
+            return
+        if not arming.crash and arming.injected >= arming.times:
+            return
+        arming.injected += 1
+        self._bump()
+        if arming.crash:
+            raise SimulatedCrash(f"simulated crash at {point}")
+        if arming.error is not None:
+            raise arming.error
+        raise OSError(f"injected fault at {point}")
+
+    def torn_fraction(self, point: str = "wal.append") -> float | None:
+        """The partial-write fraction if ``point`` is armed for a torn
+        write whose trigger is due on the *next* hit, else None.
+
+        The WAL calls this just before writing a record; a non-None
+        answer means "write this fraction of the bytes, flush, then
+        call :meth:`hit` to crash".
+        """
+        arming = self._armed.get(point)
+        if arming is None or arming.torn is None:
+            return None
+        if arming.hits < arming.after:
+            return None
+        return arming.torn
+
+    def injected_count(self, point: str | None = None) -> int:
+        """Faults actually injected (at ``point``, or overall)."""
+        if point is not None:
+            arming = self._armed.get(point)
+            return arming.injected if arming else 0
+        return sum(a.injected for a in self._armed.values())
+
+    def _bump(self) -> None:
+        stats = self.stats
+        if stats is not None:
+            stats.bump("faults.injected")

@@ -435,8 +435,8 @@ class _Deparser:
         if isinstance(node.value, bool):
             return "true" if node.value else "false"
         if isinstance(node.value, str):
-            escaped = node.value.replace("\\", "\\\\").replace('"', '\\"')
-            return f'"{escaped}"'
+            from repro.lang.literals import encode_string
+            return encode_string(node.value)
         return repr(node.value)
 
     def _render_AttrRef(self, node: AttrRef) -> str:

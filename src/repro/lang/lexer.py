@@ -118,7 +118,7 @@ class Lexer:
                 raise ParseError("unterminated string literal", line, column)
             if ch == "\\":
                 escape = self._peek(1)
-                mapped = {"n": "\n", "t": "\t", '"': '"',
+                mapped = {"n": "\n", "t": "\t", "r": "\r", '"': '"',
                           "\\": "\\"}.get(escape)
                 if mapped is None:
                     raise ParseError(f"bad escape \\{escape}",

@@ -1,0 +1,98 @@
+"""Total literal serialisation: values → ARL literal text and back.
+
+One escape table, shared by every component that renders values as
+command text — :mod:`repro.persist` dumps, the AST deparser's string
+constants, and the write-ahead log's mutation records — and matched
+exactly by the lexer's string scanner.  The encoding must be *total*
+over the storable value domain (None, bool, int, float including
+non-finite values, arbitrary str): a WAL record that cannot be decoded
+is data loss.
+
+``\\r`` matters: Python's text-mode file reading applies universal
+newline translation, so a raw carriage return written inside a dump or
+WAL string would come back as ``\\n``.  Every character the file layer
+can mangle is escaped; other control characters pass through unchanged
+(binary-exact in UTF-8).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ArielError
+
+#: string escape table (encode side); the lexer implements the inverse
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+}
+
+
+def encode_string(value: str) -> str:
+    """A double-quoted ARL string literal for ``value`` (total)."""
+    out = []
+    for ch in value:
+        out.append(_ESCAPES.get(ch, ch))
+    return '"' + "".join(out) + '"'
+
+
+def encode_literal(value) -> str:
+    """``value`` as ARL literal text that the lexer reads back exactly.
+
+    Floats use ``repr`` (shortest exact form); the non-finite values
+    map to the ``inf`` / ``-inf`` / ``nan`` literals the language
+    accepts.
+    """
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return encode_string(value)
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return repr(value)
+    if isinstance(value, int):
+        return repr(value)
+    raise ArielError(f"cannot serialise value {value!r}")
+
+
+def parse_literal(text: str):
+    """The value an ARL literal denotes (inverse of
+    :func:`encode_literal`).
+
+    Accepts exactly one literal: a string, a number (optionally
+    negated), ``true``/``false``/``null``, or ``inf``/``-inf``/``nan``.
+    """
+    from repro.lang.lexer import tokenize
+
+    tokens = tokenize(text)
+    i = 0
+    negate = False
+    if (tokens[i].kind, tokens[i].value) == ("op", "-"):
+        negate = True
+        i += 1
+    token = tokens[i]
+    if tokens[i + 1].kind != "eof":
+        raise ArielError(f"not a single literal: {text!r}")
+    if token.kind in ("number", "string"):
+        value = token.value
+    elif token.kind == "keyword" and token.value in ("true", "false",
+                                                     "null"):
+        value = {"true": True, "false": False, "null": None}[token.value]
+    elif token.kind == "keyword" and token.value in ("inf", "nan"):
+        value = float(token.value)
+    else:
+        raise ArielError(f"not a literal: {text!r}")
+    if negate:
+        if not isinstance(value, (int, float)) \
+                or isinstance(value, bool):
+            raise ArielError(f"cannot negate literal: {text!r}")
+        return -value
+    return value

@@ -34,6 +34,10 @@ docs/ARCHITECTURE.md, "Observing the engine"):
 ``plan_cache.*``       prepared-statement executions / replans
 ``actions.*``          rule-action plans built
 ``plans.*``            top-level command plans executed
+``wal.*``              write-ahead log records / fsyncs / retries /
+                       checkpoints
+``recovery.*``         WAL records replayed by ``Database.recover``
+``faults.*``           injected faults (see :mod:`repro.faults`)
 =====================  ==================================================
 """
 

@@ -17,12 +17,11 @@ definitions, data, schema — round-trips; transient per-transition state
 from __future__ import annotations
 
 import io
-import math
 import pathlib
 
 from repro.db import Database
-from repro.errors import ArielError
 from repro.lang.ast_nodes import deparse
+from repro.lang.literals import encode_literal
 
 
 def dumps(db: Database) -> str:
@@ -95,24 +94,6 @@ def _append_command(relation: str, schema, values: tuple) -> str:
     return f"append {relation}({', '.join(parts)})"
 
 
-def _literal(value) -> str:
-    if value is None:
-        return "null"
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, str):
-        escaped = value.replace("\\", "\\\\").replace('"', '\\"') \
-                       .replace("\n", "\\n").replace("\t", "\\t")
-        return f'"{escaped}"'
-    if isinstance(value, float):
-        # repr round-trips exactly, including the non-finite values:
-        # repr(inf) == 'inf' and repr(nan) == 'nan' are literals the
-        # language accepts, and repr(-inf) folds back via unary minus.
-        if math.isinf(value):
-            return "inf" if value > 0 else "-inf"
-        if math.isnan(value):
-            return "nan"
-        return repr(value)
-    if isinstance(value, int):
-        return repr(value)
-    raise ArielError(f"cannot serialise value {value!r}")
+#: total value → literal-text encoding, shared with the WAL and the AST
+#: deparser (see :mod:`repro.lang.literals`)
+_literal = encode_literal

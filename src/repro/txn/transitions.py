@@ -39,6 +39,10 @@ class TransitionHooks(MutationHooks):
     stats = NULL_STATS
     #: trace hub for ``token_routed`` events (set by the Database)
     trace = None
+    #: durability journal (a :class:`~repro.txn.durability
+    #: .DurabilityManager`, set by a durable Database): every heap
+    #: mutation is reported here so the WAL is an exact redo history
+    journal = None
 
     def __init__(self, catalog: Catalog, deltasets: DeltaSets,
                  route_token: Callable[[Token], None],
@@ -66,6 +70,8 @@ class TransitionHooks(MutationHooks):
         tid = relation.insert(values)
         stored = relation.get(tid)       # values after coercion
         self.undo.record_insert(relation_name, tid, stored)
+        if self.journal is not None:
+            self.journal.journal_insert(relation_name, stored)
         self._route(self.deltasets.record_insert(relation_name, tid,
                                                  stored))
         return tid
@@ -80,6 +86,9 @@ class TransitionHooks(MutationHooks):
             record_undo = self.undo.record_insert
             for tid, stored in pairs:
                 record_undo(relation_name, tid, stored)
+        if self.journal is not None:
+            for _, stored in pairs:
+                self.journal.journal_insert(relation_name, stored)
         self._route(self.deltasets.record_insert_many(relation_name,
                                                       pairs))
         return [tid for tid, _ in pairs]
@@ -88,6 +97,8 @@ class TransitionHooks(MutationHooks):
         relation = self.catalog.relation(relation_name)
         values = relation.delete(tid)
         self.undo.record_delete(relation_name, tid, values)
+        if self.journal is not None:
+            self.journal.journal_delete(relation_name, values)
         self._route(self.deltasets.record_delete(relation_name, tid,
                                                  values))
         return values
@@ -102,6 +113,9 @@ class TransitionHooks(MutationHooks):
             # undo — the logical state did not change.
             return old_values
         self.undo.record_replace(relation_name, tid, old_values, stored)
+        if self.journal is not None:
+            self.journal.journal_replace(relation_name, old_values,
+                                         stored)
         self._route(self.deltasets.record_modify(relation_name, tid,
                                                  old_values, stored))
         return old_values
@@ -115,8 +129,18 @@ class TransitionHooks(MutationHooks):
         """
         relation = self.catalog.relation(relation_name)
         relation.restore(tid, values)
+        if self.journal is not None:
+            self.journal.journal_insert(relation_name, values)
         self._route(self.deltasets.record_insert(relation_name, tid,
                                                  values))
+
+    def relation_created(self, relation_name: str, schema) -> None:
+        """A relation came into being outside DDL dispatch (``retrieve
+        into``): register its schema with the Δ-sets and journal an
+        equivalent ``create`` so WAL replay can rebuild it."""
+        self.deltasets.register_schema(relation_name, schema)
+        if self.journal is not None:
+            self.journal.journal_relation_created(relation_name, schema)
 
     # ------------------------------------------------------------------
     # routing

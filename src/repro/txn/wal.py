@@ -1,0 +1,245 @@
+"""Append-only, checksummed write-ahead log of committed transitions.
+
+The log is *logical* and *redo-only*: each record holds the mutations of
+one durably-committed transition (or one DDL / rule-lifecycle
+statement), not page images.  Replaying the checkpoint script plus every
+WAL record in order reconstructs the exact heap — and, because replay
+re-routes tokens with rules suspended, the exact α-memories and P-nodes
+(see :meth:`repro.db.Database.recover`).
+
+Record framing::
+
+    <length:u32-le> <crc32:u32-le> <payload: length bytes of UTF-8 JSON>
+
+The first record of every log is a generation header
+``{"gen": N}`` tying it to checkpoint generation ``N`` (the checkpoint
+protocol bumps the generation so a crash between the two renames cannot
+pair a new checkpoint with a stale log, or vice versa).  Every
+subsequent record is a JSON list of entries:
+
+* ``["i", relation, [values...]]`` — insert
+* ``["d", relation, [values...]]`` — delete (located by value at replay)
+* ``["r", relation, [before...], [after...]]`` — replace
+* ``["stmt", text]`` — a DDL or rule-lifecycle command, replayed through
+  the normal dispatcher
+
+Values are encoded with :func:`repro.lang.literals.encode_literal`, the
+same total codec the dump format uses, so any storable value (including
+``nan``, ``inf`` and strings with control characters) round-trips.
+
+Tail handling on open: a record whose header or payload is cut short by
+end-of-file, or whose final record fails its CRC, is a *torn tail* —
+the write that was in flight when the process died — and is truncated
+away.  A bad record with further data *after* it cannot be a torn tail
+and raises :class:`~repro.errors.WalCorruptError`.
+
+Write errors: transient ``OSError`` during append or fsync is retried
+with exponential backoff (any partial write is truncated away first so
+a retry never duplicates bytes).  When retries are exhausted the log
+raises :class:`~repro.errors.DurabilityError`; the database reacts by
+degrading to read-only mode.
+
+fsync policy (``fsync=``):
+
+``"always"``   fsync after every record.
+``"commit"``   flush every record; fsync only at commit / transition
+               boundaries (``sync=True`` appends).  The default.
+``"never"``    flush only, never fsync.  Durability against process
+               crash but not OS crash; the benchmark mode.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+
+from repro.errors import DurabilityError, WalCorruptError
+from repro.lang.literals import encode_literal, parse_literal
+from repro.observe import NULL_STATS
+
+#: record header: payload length, CRC32 of payload
+_HEADER = struct.Struct("<II")
+
+FSYNC_POLICIES = ("always", "commit", "never")
+
+
+def encode_values(values) -> list:
+    """Tuple values as a JSON-safe list of ARL literal strings."""
+    return [encode_literal(v) for v in values]
+
+
+def decode_values(encoded) -> tuple:
+    """Inverse of :func:`encode_values`."""
+    return tuple(parse_literal(text) for text in encoded)
+
+
+class WriteAheadLog:
+    """One append-only log file of transition records."""
+
+    def __init__(self, path, *, fsync: str = "commit", stats=NULL_STATS,
+                 faults=None, retry_limit: int = 5,
+                 retry_backoff: float = 0.01, sleep=time.sleep):
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; "
+                f"expected one of {FSYNC_POLICIES}", path=path)
+        self.path = os.fspath(path)
+        self.fsync_policy = fsync
+        self.stats = stats
+        self.faults = faults
+        self.retry_limit = retry_limit
+        self.retry_backoff = retry_backoff
+        self._sleep = sleep
+        self._file = None
+        self.generation = 0
+        self.data_records = 0   # records appended or replayed, sans header
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def create(self, generation: int) -> None:
+        """Start a fresh log containing only the generation header."""
+        self._file = open(self.path, "wb")
+        self.generation = generation
+        self.data_records = 0
+        payload = json.dumps({"gen": generation}).encode("utf-8")
+        self._file.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+        self._file.write(payload)
+        self._file.flush()
+        if self.fsync_policy != "never":
+            os.fsync(self._file.fileno())
+
+    def open(self) -> list:
+        """Open an existing log, validating and collecting its records.
+
+        Returns the decoded data records (header excluded).  A torn
+        final record is truncated; corruption earlier in the file
+        raises :class:`WalCorruptError`.
+        """
+        with open(self.path, "rb") as f:
+            data = f.read()
+        records, valid_end = self._scan(data)
+        if not records or not isinstance(records[0], dict) \
+                or "gen" not in records[0]:
+            raise WalCorruptError("missing generation header",
+                                  path=self.path, offset=0)
+        self.generation = records[0]["gen"]
+        if valid_end < len(data):
+            # torn tail: drop the half-written final record
+            with open(self.path, "r+b") as f:
+                f.truncate(valid_end)
+        self._file = open(self.path, "ab")
+        self.data_records = len(records) - 1
+        return records[1:]
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def _scan(self, data: bytes):
+        """Decode ``data`` into records; returns (records, valid_end)."""
+        records = []
+        pos = 0
+        while pos < len(data):
+            if pos + _HEADER.size > len(data):
+                break   # torn header
+            length, crc = _HEADER.unpack_from(data, pos)
+            end = pos + _HEADER.size + length
+            if end > len(data):
+                break   # torn payload
+            payload = data[pos + _HEADER.size:end]
+            if zlib.crc32(payload) != crc:
+                if end == len(data):
+                    break   # bad final record == torn tail
+                raise WalCorruptError("record checksum mismatch",
+                                      path=self.path, offset=pos)
+            try:
+                records.append(json.loads(payload.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                if end == len(data):
+                    break
+                raise WalCorruptError(f"undecodable record: {exc}",
+                                      path=self.path, offset=pos) from exc
+            pos = end
+        return records, pos
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def append(self, entries: list, *, sync: bool) -> None:
+        """Durably append one record of ``entries``.
+
+        ``sync=True`` marks a commit / transition boundary; whether that
+        (or anything) actually fsyncs depends on the policy.  Raises
+        :class:`DurabilityError` once transient-error retries are
+        exhausted — the caller is expected to degrade.
+        """
+        payload = json.dumps(entries, separators=(",", ":"),
+                             ensure_ascii=False).encode("utf-8")
+        record = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        self._write_with_retry(record)
+        self.data_records += 1
+        self.stats.bump("wal.records")
+        self._maybe_fsync(boundary=sync)
+
+    def _write_with_retry(self, record: bytes) -> None:
+        start = self._file.tell()
+        if self.faults is not None:
+            fraction = self.faults.torn_fraction("wal.append")
+            if fraction is not None:
+                # simulate the process dying mid-write: emit a prefix of
+                # the record, make it reach the file, then "crash"
+                self._file.write(record[:max(1, int(len(record)
+                                                    * fraction))])
+                self._file.flush()
+                self.faults.hit("wal.append")
+        delay = self.retry_backoff
+        for attempt in range(self.retry_limit + 1):
+            try:
+                if self.faults is not None:
+                    self.faults.hit("wal.append")
+                self._file.write(record)
+                self._file.flush()
+                return
+            except OSError:
+                # undo any partial write so a retry never duplicates
+                try:
+                    self._file.seek(start)
+                    self._file.truncate(start)
+                except OSError:
+                    pass
+                if attempt == self.retry_limit:
+                    raise DurabilityError(
+                        f"WAL append failed after "
+                        f"{self.retry_limit + 1} attempts",
+                        path=self.path, offset=start) from None
+                self.stats.bump("wal.retries")
+                self._sleep(delay)
+                delay *= 2
+
+    def _maybe_fsync(self, *, boundary: bool) -> None:
+        if self.fsync_policy == "never":
+            return
+        if self.fsync_policy == "commit" and not boundary:
+            return
+        delay = self.retry_backoff
+        for attempt in range(self.retry_limit + 1):
+            try:
+                if self.faults is not None:
+                    self.faults.hit("wal.fsync")
+                os.fsync(self._file.fileno())
+                self.stats.bump("wal.fsyncs")
+                return
+            except OSError:
+                if attempt == self.retry_limit:
+                    raise DurabilityError(
+                        f"WAL fsync failed after "
+                        f"{self.retry_limit + 1} attempts",
+                        path=self.path) from None
+                self.stats.bump("wal.retries")
+                self._sleep(delay)
+                delay *= 2

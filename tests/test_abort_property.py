@@ -7,15 +7,18 @@ alone.  Behavioral equality is checked by applying a common probe
 workload to both databases afterwards and comparing everything again
 (DESIGN.md invariant 6, extended to the rule system)."""
 
+import pytest
 from hypothesis import example, given, settings, strategies as st
 
 from repro import Database
+from repro.errors import ExecutionError
 
-from tests.test_network_equivalence import RULES, apply_ops, _op
+from tests.test_network_equivalence import (
+    RULES, apply_ops, _op, pnode_snapshot)
 
 
-def build(rules):
-    db = Database()
+def build(rules, **kwargs):
+    db = Database(**kwargs)
     db.execute("create t (a = int4, k = int4)")
     db.execute("create u (b = int4, k = int4)")
     db.execute("create v (c = int4, k = int4)")
@@ -81,3 +84,93 @@ def test_commit_then_more_work(ops, rule_indexes):
     apply_ops(plain, ops)
 
     assert state_of(committed) == state_of(plain)
+
+
+# ----------------------------------------------------------------------
+# abort with batched token routing (``batch_tokens=True``)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(_op, min_size=0, max_size=8),
+       st.lists(_op, min_size=1, max_size=8),
+       st.lists(_op, min_size=1, max_size=5),
+       st.sets(st.integers(0, len(RULES) - 1), min_size=1, max_size=3),
+       st.lists(st.tuples(st.sampled_from("tuv"), st.integers(0, 10)),
+                min_size=1, max_size=4))
+def test_abort_discards_pending_deferred_tokens(prefix, suffix, probe,
+                                                rule_indexes, danglers):
+    """Abort while deferred token groups are still pending (the state a
+    failure mid-transition leaves behind under ``batch_tokens=True``)
+    must discard them and leave α-memories and P-nodes equal to a
+    rebuild from the surviving heap."""
+    rules = [RULES[i] for i in sorted(rule_indexes)]
+    aborted = build(rules, batch_tokens=True)
+    apply_ops(aborted, prefix)
+    aborted.begin()
+    apply_ops(aborted, suffix)
+    # mutate through the hooks directly so the mutations' token groups
+    # stay buffered — the shape of a transition interrupted between its
+    # heap writes and its boundary flush
+    for rel, value in danglers:
+        col = {"t": "a", "u": "b", "v": "c"}[rel]
+        row = {"a": None, "b": None, "c": None, "k": 999}
+        row[col] = value
+        schema_order = {"t": ("a", "k"), "u": ("b", "k"),
+                        "v": ("c", "k")}[rel]
+        aborted.hooks.insert(rel, tuple(
+            row[name] if row[name] is not None else value
+            for name in schema_order))
+    assert aborted.hooks._buffer, "test needs pending deferred groups"
+    aborted.abort()
+    assert not aborted.hooks._buffer
+
+    reference = build(rules, batch_tokens=True)
+    apply_ops(reference, prefix)
+
+    assert state_of(aborted) == state_of(reference)
+    assert pnode_snapshot(aborted) == pnode_snapshot(reference)
+    assert _alpha_values(aborted) == _alpha_values(reference)
+
+    apply_ops(aborted, probe)
+    apply_ops(reference, probe)
+    assert state_of(aborted) == state_of(reference)
+
+
+def test_abort_after_failing_rule_action_with_batched_tokens():
+    """Deterministic shape of the same invariant: a rule action that
+    fails mid-transaction leaves deferred groups pending; abort must
+    still restore the pre-transaction state exactly."""
+    rule = ("define rule bad on append t if t.a = 5 "
+            "then append to u(b = t.k / (t.a - t.a), k = 99)")
+    db = build([], batch_tokens=True)
+    db.execute(rule)
+    db.execute("append u(b = 1, k = 1)")
+    db.execute("append t(a = 1, k = 1)")
+    db.begin()
+    with pytest.raises(ExecutionError):
+        db.execute("append t(a = 5, k = 2)")
+    db.abort()
+
+    reference = build([], batch_tokens=True)
+    reference.execute(rule)
+    reference.execute("append u(b = 1, k = 1)")
+    reference.execute("append t(a = 1, k = 1)")
+
+    assert state_of(db) == state_of(reference)
+    assert pnode_snapshot(db) == pnode_snapshot(reference)
+    assert _alpha_values(db) == _alpha_values(reference)
+    # behavior afterwards is identical too
+    db.execute("append t(a = 2, k = 3)")
+    reference.execute("append t(a = 2, k = 3)")
+    assert state_of(db) == state_of(reference)
+
+
+def _alpha_values(db):
+    """Stored α-memory contents as sorted value lists (TID-free)."""
+    out = {}
+    for (rule, var), memory in db.network._memories.items():
+        if memory.is_virtual:
+            continue
+        out[(rule, var)] = sorted(
+            entry.values for entry in memory.entries())
+    return out

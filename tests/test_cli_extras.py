@@ -61,6 +61,65 @@ class TestDumpLoadMeta:
         assert "error:" in out.getvalue()
         assert sh.feed("\\net") is True      # shell survives
 
+    def test_failed_load_keeps_session_database(self, shell, tmp_path):
+        """A malformed dump must not clobber the live session: the load
+        happens into a fresh database and only swaps in on success."""
+        sh, out = shell
+        bad = tmp_path / "bad.arl"
+        bad.write_text("create t (a = int4)\nthis is not a statement\n")
+        feed(sh, "create keep (a = int4);",
+             "append keep(a = 42);",
+             f"\\load {bad}")
+        text = out.getvalue()
+        assert "error: could not load" in text
+        assert "unchanged" in text
+        out.truncate(0), out.seek(0)
+        feed(sh, "retrieve (keep.a);")
+        assert "42" in out.getvalue()
+
+    def test_failed_load_unreadable_file(self, shell, tmp_path):
+        sh, out = shell
+        feed(sh, "create keep (a = int4);",
+             f"\\load {tmp_path}")           # a directory, not a file
+        assert "error: could not load" in out.getvalue()
+        out.truncate(0), out.seek(0)
+        feed(sh, "\\d keep")
+        assert "a" in out.getvalue()
+
+
+class TestDurabilityMeta:
+    def test_wal_status_in_memory(self, shell):
+        sh, out = shell
+        feed(sh, "\\wal")
+        assert "in-memory" in out.getvalue()
+
+    def test_wal_status_durable(self, tmp_path):
+        out = io.StringIO()
+        db = Database(durable_path=tmp_path / "state")
+        sh = Shell(db, out=out)
+        feed(sh, "create t (a = int4);", "append t(a = 1);", "\\wal")
+        text = out.getvalue()
+        assert "wal" in text
+        assert "fsync" in text
+        assert "records" in text
+        db.close()
+
+    def test_checkpoint_meta(self, tmp_path):
+        out = io.StringIO()
+        db = Database(durable_path=tmp_path / "state")
+        sh = Shell(db, out=out)
+        feed(sh, "create t (a = int4);", "append t(a = 1);",
+             "\\checkpoint")
+        assert "checkpoint complete" in out.getvalue()
+        assert db._durability.wal.generation == 2
+        db.close()
+
+    def test_checkpoint_requires_durable_path(self, shell):
+        sh, out = shell
+        feed(sh, "\\checkpoint")
+        assert "error:" in out.getvalue()
+        assert "durable" in out.getvalue()
+
 
 class TestDemoScript:
     def test_demo_script_loads(self):

@@ -1,0 +1,115 @@
+"""FaultRegistry semantics: arming, counting, crash vs error modes."""
+
+import pytest
+
+from repro.faults import POINTS, FaultRegistry, SimulatedCrash
+from repro.observe import EngineStats
+
+
+class TestArming:
+    def test_unknown_point_rejected(self):
+        registry = FaultRegistry()
+        with pytest.raises(ValueError, match="unknown fault point"):
+            registry.arm("wal.bogus")
+
+    def test_torn_requires_wal_append_and_crash(self):
+        registry = FaultRegistry()
+        with pytest.raises(ValueError, match="torn"):
+            registry.arm("wal.fsync", torn=0.5, crash=True)
+        with pytest.raises(ValueError, match="crash"):
+            registry.arm("wal.append", torn=0.5)
+
+    def test_disarm_single_and_all(self):
+        registry = FaultRegistry()
+        registry.arm("wal.append")
+        registry.arm("wal.fsync")
+        assert registry.armed("wal.append")
+        registry.disarm("wal.append")
+        assert not registry.armed("wal.append")
+        assert registry.armed("wal.fsync")
+        registry.disarm()
+        assert not registry.armed("wal.fsync")
+
+    def test_every_declared_point_arms(self):
+        registry = FaultRegistry()
+        for point in POINTS:
+            registry.arm(point)
+            assert registry.armed(point)
+
+
+class TestHitting:
+    def test_unarmed_hit_is_noop(self):
+        FaultRegistry().hit("wal.append")   # nothing raised
+
+    def test_default_error_is_oserror(self):
+        registry = FaultRegistry()
+        registry.arm("wal.append")
+        with pytest.raises(OSError, match="injected fault"):
+            registry.hit("wal.append")
+
+    def test_custom_error_instance(self):
+        registry = FaultRegistry()
+        registry.arm("wal.fsync", error=OSError(28, "No space left"))
+        with pytest.raises(OSError, match="No space left"):
+            registry.hit("wal.fsync")
+
+    def test_times_bounds_injection(self):
+        registry = FaultRegistry()
+        registry.arm("wal.append", times=2)
+        for _ in range(2):
+            with pytest.raises(OSError):
+                registry.hit("wal.append")
+        registry.hit("wal.append")          # exhausted: clean again
+        assert registry.injected_count("wal.append") == 2
+
+    def test_after_skips_leading_hits(self):
+        registry = FaultRegistry()
+        registry.arm("txn.commit", after=2)
+        registry.hit("txn.commit")
+        registry.hit("txn.commit")
+        with pytest.raises(OSError):
+            registry.hit("txn.commit")
+
+    def test_crash_raises_base_exception(self):
+        registry = FaultRegistry()
+        registry.arm("rule.fire", crash=True)
+        with pytest.raises(SimulatedCrash):
+            registry.hit("rule.fire")
+        # a crash point stays lethal — the "process" never comes back
+        with pytest.raises(SimulatedCrash):
+            registry.hit("rule.fire")
+        assert not issubclass(SimulatedCrash, Exception)
+        assert not issubclass(SimulatedCrash, OSError)
+
+    def test_stats_counter_bumped(self):
+        stats = EngineStats()
+        registry = FaultRegistry(stats=stats)
+        registry.arm("wal.append", times=3)
+        for _ in range(3):
+            with pytest.raises(OSError):
+                registry.hit("wal.append")
+        assert stats.get("faults.injected") == 3
+
+    def test_injected_count_totals(self):
+        registry = FaultRegistry()
+        registry.arm("wal.append", times=1)
+        registry.arm("wal.fsync", times=1)
+        for point in ("wal.append", "wal.fsync"):
+            with pytest.raises(OSError):
+                registry.hit(point)
+        assert registry.injected_count() == 2
+
+
+class TestTornFraction:
+    def test_none_when_unarmed_or_plain_crash(self):
+        registry = FaultRegistry()
+        assert registry.torn_fraction() is None
+        registry.arm("wal.append", crash=True)
+        assert registry.torn_fraction() is None
+
+    def test_fraction_respects_after(self):
+        registry = FaultRegistry()
+        registry.arm("wal.append", crash=True, torn=0.25, after=1)
+        assert registry.torn_fraction() is None   # first hit passes
+        registry.hit("wal.append")
+        assert registry.torn_fraction() == 0.25

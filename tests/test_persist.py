@@ -128,6 +128,34 @@ class TestDumpLoad:
         restored = persist.loads(persist.dumps(db))
         assert restored.relation_rows("t") == [('line\nbreak\t"quote"\\',)]
 
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.text(max_size=40), min_size=1, max_size=5))
+    def test_arbitrary_strings_round_trip(self, strings):
+        """The literal codec is total over str: any Python string —
+        control characters, ``\\r``, quotes, backslashes — survives
+        dumps → loads unchanged (the WAL reuses this codec, so this is
+        also the WAL's value-fidelity guarantee)."""
+        db = Database()
+        db.execute("create t (s = text)")
+        for value in strings:
+            db.catalog.relation("t").insert((value,))
+        restored = persist.loads(persist.dumps(db))
+        assert sorted(restored.relation_rows("t")) == sorted(
+            (value,) for value in strings)
+
+    def test_carriage_return_survives_file_round_trip(self, tmp_path):
+        """``\\r`` must survive the *file* path too: without escaping,
+        universal-newline translation on read would corrupt it."""
+        db = Database()
+        db.execute("create t (s = text)")
+        for value in ("a\rb", "a\r\nb", "\r", "\x00\x1b[0m"):
+            db.catalog.relation("t").insert((value,))
+        path = tmp_path / "dump.arl"
+        persist.dump(db, path)
+        restored = persist.load(path)
+        assert sorted(restored.relation_rows("t")) == sorted(
+            [("a\rb",), ("a\r\nb",), ("\r",), ("\x00\x1b[0m",)])
+
     def test_null_values_round_trip(self):
         db = Database()
         db.execute("create t (a = int4, b = text)")

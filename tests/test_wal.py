@@ -1,0 +1,439 @@
+"""Write-ahead log: record format, torn tails, retries, degraded mode,
+checkpointing, and deterministic crash-recovery scenarios."""
+
+import os
+import struct
+
+import pytest
+
+from repro.db import Database
+from repro.errors import (
+    DegradedError, DurabilityError, TransactionError, WalCorruptError)
+from repro.faults import SimulatedCrash
+from repro.observe import EngineStats
+from repro.txn.wal import (
+    WriteAheadLog, decode_values, encode_values)
+
+_HEADER = struct.Struct("<II")
+
+
+def make_db(tmp_path, **kwargs):
+    db = Database(durable_path=tmp_path / "state", **kwargs)
+    # fault tests retry fast and never sleep for real
+    db._durability.wal.retry_backoff = 0.0
+    db._durability.wal._sleep = lambda delay: None
+    db._durability._wal_kwargs.update(retry_backoff=0.0,
+                                      sleep=lambda delay: None)
+    return db
+
+
+def wal_path(db):
+    return db._durability.wal_path
+
+
+class TestValueCodec:
+    def test_round_trip(self):
+        values = (1, -2.5, "a\nb\r\"c\\", None, True, False,
+                  float("inf"), float("-inf"))
+        assert decode_values(encode_values(values)) == values
+
+    def test_nan_round_trips(self):
+        [value] = decode_values(encode_values((float("nan"),)))
+        assert value != value
+
+
+class TestLogFile:
+    def test_records_survive_reopen(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        log.create(1)
+        log.append([["i", "t", ["1"]]], sync=True)
+        log.append([["d", "t", ["1"]]], sync=True)
+        log.close()
+        reopened = WriteAheadLog(path)
+        records = reopened.open()
+        assert records == [[["i", "t", ["1"]]], [["d", "t", ["1"]]]]
+        assert reopened.generation == 1
+        assert reopened.data_records == 2
+        reopened.close()
+
+    def test_torn_tail_truncated(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        log.create(1)
+        log.append([["i", "t", ["1"]]], sync=True)
+        log.close()
+        good_size = path.stat().st_size
+        with open(path, "ab") as f:
+            f.write(_HEADER.pack(1000, 12345))
+            f.write(b"only a few bytes")
+        reopened = WriteAheadLog(path)
+        assert reopened.open() == [[["i", "t", ["1"]]]]
+        reopened.close()
+        assert path.stat().st_size == good_size
+
+    def test_corrupt_final_record_treated_as_torn(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        log.create(1)
+        log.append([["i", "t", ["1"]]], sync=True)
+        log.append([["i", "t", ["2"]]], sync=True)
+        log.close()
+        with open(path, "r+b") as f:
+            f.seek(-1, os.SEEK_END)
+            f.write(b"\xff")
+        reopened = WriteAheadLog(path)
+        assert reopened.open() == [[["i", "t", ["1"]]]]
+        reopened.close()
+
+    def test_corruption_before_end_raises(self, tmp_path):
+        path = tmp_path / "wal.log"
+        log = WriteAheadLog(path)
+        log.create(1)
+        log.append([["i", "t", ["1"]]], sync=True)
+        first_end = path.stat().st_size
+        log.append([["i", "t", ["2"]]], sync=True)
+        log.close()
+        with open(path, "r+b") as f:
+            f.seek(first_end - 1)
+            f.write(b"\xff")
+        broken = WriteAheadLog(path)
+        with pytest.raises(WalCorruptError) as info:
+            broken.open()
+        assert info.value.path == str(path)
+        assert info.value.offset is not None
+
+    def test_missing_generation_header(self, tmp_path):
+        path = tmp_path / "wal.log"
+        path.write_bytes(b"")
+        with pytest.raises(WalCorruptError, match="generation"):
+            WriteAheadLog(path).open()
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(DurabilityError, match="fsync policy"):
+            WriteAheadLog(tmp_path / "wal.log", fsync="sometimes")
+
+    def test_fsync_policy_counters(self, tmp_path):
+        for policy, expected in (("always", 3), ("commit", 2),
+                                 ("never", 0)):
+            stats = EngineStats()
+            log = WriteAheadLog(tmp_path / f"{policy}.log", fsync=policy,
+                                stats=stats)
+            log.create(1)
+            log.append([["x"]], sync=False)
+            log.append([["y"]], sync=True)
+            log.append([["z"]], sync=True)
+            log.close()
+            assert stats.get("wal.fsyncs") == expected, policy
+            assert stats.get("wal.records") == 3
+
+
+class TestRetries:
+    def test_transient_error_retried(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.faults.arm("wal.append", times=2)
+        db.execute("append t(a = 1)")
+        assert db.relation_rows("t") == [(1,)]
+        assert db.stats.get("wal.retries") == 2
+        assert db.stats.get("faults.injected") == 2
+        assert db.degraded is None
+        db.close()
+        assert Database.recover(
+            tmp_path / "state").relation_rows("t") == [(1,)]
+
+    def test_exhaustion_degrades_to_read_only(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.faults.arm("wal.append", times=100)
+        with pytest.raises(DegradedError):
+            db.execute("append t(a = 2)")
+        assert db.degraded is not None
+        # reads still served; every write path refused
+        assert db.query("retrieve (t.a)").rows == [(1,), (2,)]
+        assert db.explain("retrieve (t.a)")
+        with pytest.raises(DegradedError):
+            db.execute("append t(a = 3)")
+        with pytest.raises(DegradedError):
+            db.execute("create u (b = int4)")
+        with pytest.raises(DegradedError):
+            db.begin()
+        with pytest.raises(DegradedError):
+            db.bulk_append("t", [(4,)])
+        with pytest.raises(DegradedError):
+            db.checkpoint()
+        prepared = db.prepare("append t(a = $a)")
+        with pytest.raises(DegradedError):
+            prepared.execute(a=5)
+        # the counters the issue promises in \stats
+        report = db.stats.report()
+        assert "faults.injected" in report
+        assert "wal.retries" in report
+        db.close()
+        # only the durable prefix survives
+        assert Database.recover(
+            tmp_path / "state").relation_rows("t") == [(1,)]
+
+
+class TestCrashRecovery:
+    def test_crash_before_append_loses_only_last_op(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.faults.arm("wal.append", crash=True)
+        with pytest.raises(SimulatedCrash):
+            db.execute("append t(a = 2)")
+        assert Database.recover(
+            tmp_path / "state").relation_rows("t") == [(1,)]
+
+    def test_torn_write_truncated_on_recovery(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        size_before = wal_path(db).stat().st_size
+        db.faults.arm("wal.append", crash=True, torn=0.6)
+        with pytest.raises(SimulatedCrash):
+            db.execute("append t(a = 2)")
+        assert wal_path(db).stat().st_size > size_before
+        recovered = Database.recover(tmp_path / "state")
+        assert recovered.relation_rows("t") == [(1,)]
+        assert recovered._durability.wal_path.stat(
+            ).st_size == size_before
+
+    def test_crash_at_fsync_keeps_the_record(self, tmp_path):
+        db = make_db(tmp_path, fsync="always")
+        db.execute("create t (a = int4)")
+        db.faults.arm("wal.fsync", crash=True)
+        with pytest.raises(SimulatedCrash):
+            db.execute("append t(a = 1)")
+        assert Database.recover(
+            tmp_path / "state").relation_rows("t") == [(1,)]
+
+    def test_crash_at_commit_loses_whole_transaction(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.begin()
+        db.execute("append t(a = 2)")
+        db.execute("append t(a = 3)")
+        db.faults.arm("txn.commit", crash=True)
+        with pytest.raises(SimulatedCrash):
+            db.commit()
+        assert Database.recover(
+            tmp_path / "state").relation_rows("t") == [(1,)]
+
+    def test_committed_transaction_is_one_durable_record(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        before = db.wal_info()["records"]
+        db.begin()
+        db.execute("append t(a = 1)")
+        db.execute("append t(a = 2)")
+        assert db.wal_info()["records"] == before   # nothing pre-commit
+        db.commit()
+        assert db.wal_info()["records"] == before + 1
+        db.close()
+        assert sorted(Database.recover(
+            tmp_path / "state").relation_rows("t")) == [(1,), (2,)]
+
+    def test_aborted_transaction_recovers_to_prefix(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.begin()
+        db.execute("append t(a = 2)")
+        db.execute("replace t (a = 9) where t.a = 1")
+        db.abort()
+        db.close()
+        assert Database.recover(
+            tmp_path / "state").relation_rows("t") == [(1,)]
+
+    def test_crash_in_rule_action_loses_transition(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("create log (tag = text)")
+        db.execute('define rule r on append t '
+                   'then append to log(tag = "hit")')
+        db.execute("append t(a = 1)")
+        db.faults.arm("rule.fire", crash=True)
+        with pytest.raises(SimulatedCrash):
+            db.execute("append t(a = 2)")
+        recovered = Database.recover(tmp_path / "state")
+        assert recovered.relation_rows("t") == [(1,)]
+        assert recovered.relation_rows("log") == [("hit",)]
+
+    def test_rule_generated_mutations_replay_without_refiring(
+            self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("create audit (n = int4)")
+        db.execute("define rule cnt on append t "
+                   "then append to audit(n = t.a)")
+        for i in range(4):
+            db.execute(f"append t(a = {i})")
+        db.close()
+        recovered = Database.recover(tmp_path / "state")
+        # replay must not re-fire: exactly one audit row per append
+        assert sorted(recovered.relation_rows("audit")) == \
+            [(i,) for i in range(4)]
+        assert recovered.firings == 0
+        # and the network is live again: new appends do fire
+        recovered.execute("append t(a = 99)")
+        assert (99,) in recovered.relation_rows("audit")
+
+
+class TestCheckpoint:
+    def test_explicit_checkpoint_truncates_wal(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        for i in range(5):
+            db.execute(f"append t(a = {i})")
+        assert db.wal_info()["records"] > 0
+        db.checkpoint()
+        info = db.wal_info()
+        assert info["records"] == 0
+        assert info["generation"] == 2
+        assert db.stats.get("wal.checkpoints") == 1
+        db.close()
+        assert len(Database.recover(
+            tmp_path / "state").relation_rows("t")) == 5
+
+    def test_auto_checkpoint_on_threshold(self, tmp_path):
+        db = make_db(tmp_path, checkpoint_every=4)
+        db.execute("create t (a = int4)")
+        for i in range(10):
+            db.execute(f"append t(a = {i})")
+        assert db.stats.get("wal.checkpoints") >= 2
+        db.close()
+        assert len(Database.recover(
+            tmp_path / "state",
+            checkpoint_every=4).relation_rows("t")) == 10
+
+    def test_checkpoint_refused_inside_transaction(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.checkpoint()
+        db.abort()
+
+    def test_checkpoint_requires_durable_path(self):
+        with pytest.raises(DurabilityError, match="durable path"):
+            Database().checkpoint()
+
+    def test_crash_during_checkpoint_rename_recovers_old_pair(
+            self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        for i in range(3):
+            db.execute(f"append t(a = {i})")
+        db.faults.arm("checkpoint.rename", crash=True)
+        with pytest.raises(SimulatedCrash):
+            db.checkpoint()
+        state = tmp_path / "state"
+        assert (state / "checkpoint.arl.tmp").exists()
+        assert (state / "wal.log.new").exists()
+        recovered = Database.recover(state)
+        assert sorted(recovered.relation_rows("t")) == \
+            [(0,), (1,), (2,)]
+        # orphans cleaned up
+        assert not (state / "checkpoint.arl.tmp").exists()
+        assert not (state / "wal.log.new").exists()
+
+    def test_stale_wal_generation_discarded(self, tmp_path):
+        # simulate a crash between the two checkpoint renames: new
+        # checkpoint installed, old log still in place
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.close()
+        state = tmp_path / "state"
+        old_wal = (state / "wal.log").read_bytes()
+        db2 = Database.recover(state)
+        db2.execute("append t(a = 2)")
+        db2.checkpoint()
+        db2.close()
+        (state / "wal.log").write_bytes(old_wal)    # stale generation 1
+        recovered = Database.recover(state)
+        assert sorted(recovered.relation_rows("t")) == [(1,), (2,)]
+
+    def test_wal_generation_ahead_of_checkpoint_rejected(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.checkpoint()
+        db.close()
+        state = tmp_path / "state"
+        (state / "checkpoint.arl").write_text(
+            "-- wal-generation: 1\ncreate t (a = int4)\n")
+        with pytest.raises(WalCorruptError, match="ahead"):
+            Database.recover(state)
+
+
+class TestDurableLifecycle:
+    def test_fresh_refuses_existing_state(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.close()
+        with pytest.raises(DurabilityError, match="recover"):
+            Database(durable_path=tmp_path / "state")
+
+    def test_recover_empty_directory_gives_empty_database(self, tmp_path):
+        db = Database.recover(tmp_path / "nothing")
+        assert list(db.catalog.relations()) == []
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 7)")
+        db.close()
+        assert Database.recover(
+            tmp_path / "nothing").relation_rows("t") == [(7,)]
+
+    def test_ddl_and_rule_lifecycle_replay(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("create log (tag = text)")
+        db.execute("define index ti on t (a) using btree")
+        db.execute('define rule r on append t '
+                   'then append to log(tag = "x")')
+        db.execute("deactivate rule r")
+        db.execute("append t(a = 1)")       # rule inactive: no log row
+        db.execute("activate rule r")
+        db.execute("append t(a = 2)")       # fires
+        db.execute("remove index ti")
+        db.close()
+        recovered = Database.recover(tmp_path / "state")
+        assert sorted(recovered.relation_rows("t")) == [(1,), (2,)]
+        assert recovered.relation_rows("log") == [("x",)]
+        assert "r" in recovered.manager.active_rules()
+        assert not list(recovered.catalog.indexes())
+        recovered.execute("append t(a = 3)")
+        assert len(recovered.relation_rows("log")) == 2
+
+    def test_retrieve_into_is_durable(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.execute("append t(a = 5)")
+        db.execute("retrieve into big (t.a) where t.a > 2")
+        db.close()
+        recovered = Database.recover(tmp_path / "state")
+        assert recovered.relation_rows("big") == [(5,)]
+
+    def test_destroy_relation_replays(self, tmp_path):
+        db = make_db(tmp_path)
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 1)")
+        db.execute("destroy t")
+        db.execute("create t (a = int4)")
+        db.execute("append t(a = 2)")
+        db.close()
+        assert Database.recover(
+            tmp_path / "state").relation_rows("t") == [(2,)]
+
+    def test_wal_info_shape(self, tmp_path):
+        assert Database().wal_info() is None
+        db = make_db(tmp_path, fsync="never")
+        info = db.wal_info()
+        assert info["fsync"] == "never"
+        assert info["degraded"] is None
+        assert info["generation"] == 1
