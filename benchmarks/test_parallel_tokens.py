@@ -1,0 +1,124 @@
+"""Sharded parallel propagation vs serial on a large bulk append.
+
+The sharded path partitions a transition Δ-set by (relation,
+anchor-key) across a worker pool, runs the read-only match phase
+concurrently, then merges the per-shard decisions back in original
+token order (see docs/ARCHITECTURE.md, "Sharded propagation").  This
+benchmark measures the scaling curve — serial (workers=0) against
+workers ∈ {1, 2, 4} on the same Δ-set — and records it in
+BENCH_parallel.json alongside ``cpu_count`` so the numbers are honest
+about the host.
+
+Workload: the batch-propagation shape from test_batch_tokens.py scaled
+to ``N_ROWS`` = 100k tuples against ``N_RULES`` single-variable rules,
+each with an anchored salary interval plus a residual age conjunct.
+
+The gate uses :func:`common.parallel_speedup_bar`: on a multi-core
+free-threaded build the 4-worker run must clear the nominal 2x; on a
+GIL build (or a 1-core box) threads cannot overlap bytecode, so the
+bar degrades to an overhead guard — sharding must not cost more than
+``workers/nominal`` over serial.  Correctness is asserted exactly:
+every worker count must produce identical P-node totals.
+"""
+
+import time
+
+from common import emit, median_time, parallel_speedup_bar
+from repro import Database
+
+N_RULES = 64
+N_ROWS = 100_000
+DISTINCT_SALARIES = 32
+REPEATS = 3
+WORKER_COUNTS = (1, 2, 4)
+NOMINAL_SPEEDUP = 2.0
+MIN_SPEEDUP_AT_4 = parallel_speedup_bar(NOMINAL_SPEEDUP, 4)
+
+
+def _rows():
+    return [("bulk%06d" % i, 18 + (i % 12),
+             1000.0 * (i % DISTINCT_SALARIES) + 400.0, 1, 1)
+            for i in range(N_ROWS)]
+
+
+def _prepared_database(workers):
+    db = Database(network="a-treat", batch_tokens=True,
+                  parallel_workers=workers)
+    db.execute_script("""
+        create emp (name = text, age = int4, sal = float8,
+                    dno = int4, jno = int4)
+        create bench_log (name = text)
+    """)
+    db._rules_suspended = True
+    for i in range(N_RULES):
+        low, high = 1000 * i, 1000 * i + 800
+        db.execute(f"define rule par_rule_{i} "
+                   f"if {low} < emp.sal and emp.sal <= {high} "
+                   f"and emp.age > 21 "
+                   f"then append to bench_log(name = emp.name)")
+    return db
+
+
+def _pnode_total(db):
+    return sum(len(db.network.pnode(name)) for name in db.network.rules)
+
+
+def _measure(rows, workers):
+    """Seconds to route the bulk append's Δ-set at a worker count
+    (0 = the serial reference path)."""
+    db = _prepared_database(workers)
+    db.hooks.insert_many("emp", rows)
+    start = time.perf_counter()
+    db.hooks.flush_tokens()
+    elapsed = time.perf_counter() - start
+    if workers:
+        assert db.stats.get("shard.batches") >= 1, \
+            "parallel run never took the sharded path"
+    total = _pnode_total(db)
+    db.close()
+    return elapsed, total
+
+
+def test_parallel_tokens(benchmark):
+    rows = _rows()
+    holder = {}
+
+    def run():
+        times = {}
+        totals = set()
+        for workers in (0,) + WORKER_COUNTS:
+            samples = [_measure(rows, workers) for _ in range(REPEATS)]
+            times[workers] = median_time([t for t, _ in samples])
+            totals.update(total for _, total in samples)
+        assert len(totals) == 1, f"P-node contents diverged: {totals}"
+        holder["times"] = times
+        holder["pnode_total"] = totals.pop()
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    times = holder["times"]
+    serial = times[0]
+    speedups = {w: serial / times[w] for w in WORKER_COUNTS}
+    lines = [f"Sharded parallel propagation "
+             f"({N_ROWS} tuples, {N_RULES} rules)",
+             f"serial (workers=0)  {serial:.4f}s"]
+    for w in WORKER_COUNTS:
+        lines.append(f"workers={w}           {times[w]:.4f}s | "
+                     f"{speedups[w]:.2f}x")
+    lines.append(f"P-node entries at every worker count: "
+                 f"{holder['pnode_total']}")
+    emit("parallel", "\n".join(lines), {
+        "network": "a-treat",
+        "rules": N_RULES,
+        "rows": N_ROWS,
+        "distinct_salaries": DISTINCT_SALARIES,
+        "repeats": REPEATS,
+        "serial_propagation_s": serial,
+        "propagation_s": {str(w): times[w] for w in WORKER_COUNTS},
+        "speedup": {str(w): speedups[w] for w in WORKER_COUNTS},
+        "speedup_bar_at_4": MIN_SPEEDUP_AT_4,
+        "pnode_total": holder["pnode_total"],
+    })
+    assert speedups[4] >= MIN_SPEEDUP_AT_4, (
+        f"4-worker sharded propagation at {speedups[4]:.2f}x "
+        f"vs serial (need >= {MIN_SPEEDUP_AT_4:.2f}x on this host)")

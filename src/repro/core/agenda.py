@@ -24,14 +24,21 @@ class Agenda:
     stats = NULL_STATS
 
     def __init__(self):
-        self._notified: set[str] = set()
+        # Insertion-ordered (dict, not set): select() already breaks
+        # ties with a total order, but iterating notifications in
+        # arrival order makes every agenda walk — including diagnostic
+        # inspection — reproducible run-to-run.  The sharded
+        # propagation path relies on notify() being called only from
+        # the serial apply/merge phase, in original token order, so
+        # this arrival order is identical to serial execution.
+        self._notified: dict[str, None] = {}
 
     def notify(self, rule: CompiledRule) -> None:
         """The network reports a rule gained a match."""
-        self._notified.add(rule.name)
+        self._notified[rule.name] = None
 
     def discard(self, rule_name: str) -> None:
-        self._notified.discard(rule_name)
+        self._notified.pop(rule_name, None)
 
     def clear(self) -> None:
         self._notified.clear()
@@ -60,7 +67,7 @@ class Agenda:
             if best_key is None or key > best_key:
                 best, best_key = rule, key
         for name in stale:
-            self._notified.discard(name)
+            self._notified.pop(name, None)
         if self.stats.enabled:
             self.stats.bump("agenda.selections")
             if stale:

@@ -77,7 +77,8 @@ class RuleManager:
                  selection_index: SelectionIndex | None = None,
                  max_rule_cascade: int = 1000,
                  stats: EngineStats | None = None,
-                 join_index_policy: str = "demand"):
+                 join_index_policy: str = "demand",
+                 worker_pool=None):
         self.catalog = catalog
         self.optimizer = optimizer or Optimizer(catalog)
         self.stats = stats or NULL_STATS
@@ -90,6 +91,9 @@ class RuleManager:
             on_match=self.agenda.notify,
             stats=self.stats,
             join_index_policy=join_index_policy)
+        # sharded propagation worker pool (None = serial; the Database
+        # owns the pool's lifecycle and may swap it at runtime)
+        self.network.worker_pool = worker_pool
         self.halted = False
         #: bound on firings per triggering transition (cascade guard)
         self.max_rule_cascade = max_rule_cascade
@@ -155,6 +159,11 @@ class RuleManager:
     def process_tokens(self, tokens) -> None:
         """Set-oriented routing of a whole Δ-set batch."""
         self.network.process_tokens(tokens)
+
+    def set_worker_pool(self, pool) -> None:
+        """Attach (or detach, with None) the propagation worker pool;
+        takes effect from the next routed batch."""
+        self.network.worker_pool = pool
 
     def select_rule(self) -> CompiledRule | None:
         """Conflict resolution: the next rule to fire, if any."""

@@ -156,11 +156,7 @@ class ReteNetwork(DiscriminationNetwork):
             self._stamp += 1
             if self._pnodes[rule.name].insert(Match.of(dict(partial)),
                                               self._stamp):
-                batch = self._batch
-                if batch is not None:
-                    batch.pnode_inserts += 1
-                elif self.stats.enabled:
-                    self.stats.bump("pnode.inserts")
+                self._note_pnode_insert()
                 if emit:
                     self.on_match(rule)
             return

@@ -139,7 +139,8 @@ class SelectionIndex:
     # ------------------------------------------------------------------
 
     def probe(self, relation: str, values: tuple,
-              stab_cache: dict | None = None) -> list:
+              stab_cache: dict | None = None,
+              stats=None) -> list:
         """Every registered target whose anchor accepts ``values``, plus
         the relation's unanchored targets.  Null attribute values never
         satisfy an anchor (SQL comparison semantics).
@@ -147,8 +148,13 @@ class SelectionIndex:
         ``stab_cache`` (a plain dict owned by the caller) memoizes
         attribute-value stabs across probes of one batch — tuples that
         repeat an attribute value skip the interval-index walk entirely.
+
+        ``stats`` overrides the shared counter registry for this probe:
+        sharded match workers pass a private registry so concurrent
+        shards never touch (or interleave in) the shared one; the
+        network merges the per-shard counts at the transition boundary.
         """
-        return self._probe(relation, values, stab_cache)
+        return self._probe(relation, values, stab_cache, stats)
 
     def anchor_key(self, relation: str, values: tuple) -> tuple:
         """The projection of ``values`` onto the relation's anchored
@@ -186,8 +192,9 @@ class SelectionIndex:
         return out
 
     def _probe(self, relation: str, values: tuple,
-               stab_cache: dict | None) -> list:
-        stats = self.stats
+               stab_cache: dict | None, stats=None) -> list:
+        if stats is None:
+            stats = self.stats
         if stats.enabled:
             counters = stats.counters
             counters["selection.probes"] = \

@@ -1,0 +1,293 @@
+"""Sharded token propagation: partitioner, worker pool, Δ-set merge.
+
+The batched propagation path (:meth:`~repro.core.network
+.DiscriminationNetwork.process_tokens`) runs a transition Δ-set on one
+core.  This module supplies the pieces that parallelise its *match*
+phase while keeping the observable semantics bit-for-bit identical to
+serial execution:
+
+* :func:`partition` — hash-partition a Δ-set by ``(relation,
+  anchor-key)`` into ``K`` shards.  The shard key equals the batch
+  probe-cache key, so every token that would share a memoized selection
+  probe, interval stab, or residual evaluation lands in the same shard
+  and the per-shard caches lose nothing to the split.
+* :func:`shard_hash` — a deliberately *stable* hash (``crc32`` for
+  strings, identity-free handling of ``None``): Python salts ``str``
+  hashes per process and ``hash(None)`` is id-based on 3.11, so the
+  builtin would make shard assignment — and therefore per-shard cache
+  hit counters — nondeterministic across runs.
+* :class:`ShardPool` — the worker pool (``backend="thread"`` default;
+  ``"process"`` adds a fork-based :class:`ResidualOffload` that
+  evaluates CPU-bound residual predicates in child processes, falling
+  back inline on any pickling/pool failure).
+* :func:`merge_results` — fold per-shard match results back into one
+  token-index-ordered decision map plus summed counters.  The *apply*
+  phase (memory mutation, joins, P-node inserts, agenda notifications)
+  then replays decisions serially in original token order, which is the
+  determinism argument: every effect with observable ordering happens
+  on the merge thread, in exactly the serial sequence.
+
+``Database(parallel_workers=N)`` wires a pool in; ``workers=0`` (the
+default, also via the ``REPRO_WORKERS`` environment variable) never
+constructs one, preserving today's serial path untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from zlib import crc32
+
+from repro.errors import ArielError
+
+#: batches smaller than this stay on the serial path — partitioning and
+#: worker handoff overhead would swamp any match-phase win
+DEFAULT_MIN_BATCH = 16
+
+BACKENDS = ("thread", "process")
+
+
+def resolve_workers(workers: int | None) -> int:
+    """The effective worker count: an explicit value wins; ``None``
+    falls back to the ``REPRO_WORKERS`` environment variable; absent
+    both, propagation is serial (0)."""
+    if workers is None:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if not raw:
+            return 0
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ArielError(
+                f"REPRO_WORKERS must be an integer, got {raw!r}") \
+                from None
+    workers = int(workers)
+    if workers < 0:
+        raise ArielError(
+            f"parallel_workers must be >= 0, got {workers}")
+    return workers
+
+
+def shard_hash(relation: str, anchor_vals: tuple) -> int:
+    """A process-stable hash of a token's partitioning key.
+
+    Strings go through ``crc32`` (``hash(str)`` is salted per process),
+    ``None`` contributes a constant (``hash(None)`` is id-based on
+    CPython 3.11), and numbers use ``hash()`` (unsalted, and it already
+    equates ``1`` / ``1.0`` the way dict keys do).
+    """
+    h = crc32(relation.encode())
+    for value in anchor_vals:
+        if isinstance(value, str):
+            h = (h * 31 + crc32(value.encode())) & 0xFFFFFFFF
+        elif value is None:
+            h = (h * 31 + 0x9E3779B9) & 0xFFFFFFFF
+        else:
+            h = (h * 31 + hash(value)) & 0xFFFFFFFF
+    return h
+
+
+def partition(tokens, selection_index, shards: int) -> list[list]:
+    """Split a Δ-set into ``shards`` lists of ``(index, token)`` pairs.
+
+    The key is ``(relation, anchor-key)`` — identical to the batch
+    probe-cache key, so co-cached tokens co-shard.  Original token
+    indexes ride along for the deterministic merge; within a shard,
+    tokens keep their relative order, so per-shard residual memo state
+    evolves exactly as it would serially.
+    """
+    out: list[list] = [[] for _ in range(shards)]
+    anchor_positions = selection_index.anchor_positions
+    for idx, token in enumerate(tokens):
+        positions = anchor_positions.get(token.relation)
+        if not positions:
+            anchor_vals: tuple = ()
+        elif len(positions) == 1:
+            anchor_vals = (token.values[positions[0]],)
+        else:
+            anchor_vals = tuple(token.values[p] for p in positions)
+        out[shard_hash(token.relation, anchor_vals) % shards].append(
+            (idx, token))
+    return out
+
+
+def merge_results(results) -> tuple[dict, dict, int]:
+    """Fold per-shard match results into ``(decisions, counters,
+    memo_hits)``.
+
+    ``decisions`` maps original token index to the precomputed
+    ``(candidates, ops)`` pair; because a probe key maps to exactly one
+    shard, summing per-shard counters and memo hits reproduces the
+    serial batched counts exactly.
+    """
+    decisions: dict = {}
+    counters: dict = {}
+    memo_hits = 0
+    for shard_decisions, shard_counters, shard_memo_hits in results:
+        for idx, candidates, ops in shard_decisions:
+            decisions[idx] = (candidates, ops)
+        if shard_counters:
+            for key, value in shard_counters.items():
+                counters[key] = counters.get(key, 0) + value
+        memo_hits += shard_memo_hits
+    return decisions, counters, memo_hits
+
+
+class ShardPool:
+    """A propagation worker pool (thread backend, lazily started).
+
+    ``backend="process"`` keeps the match phase on threads (it is
+    read-only and cheap per token) but attaches a
+    :class:`ResidualOffload` so the deduplicated residual-predicate
+    evaluations — the CPU-bound part — can run in child processes.
+    """
+
+    def __init__(self, workers: int, backend: str = "thread",
+                 min_batch: int = DEFAULT_MIN_BATCH):
+        if backend not in BACKENDS:
+            raise ArielError(
+                f"unknown parallel backend {backend!r}; expected one "
+                f"of {list(BACKENDS)}")
+        workers = resolve_workers(workers)
+        if workers < 1:
+            raise ArielError("a ShardPool needs at least one worker")
+        self.workers = workers
+        self.backend = backend
+        self.min_batch = max(1, int(min_batch))
+        self._executor = None
+        self.offload = (ResidualOffload(workers)
+                        if backend == "process" else None)
+
+    def accepts(self, n: int) -> bool:
+        """Is a batch of ``n`` tokens worth sharding?"""
+        return n >= self.min_batch
+
+    def map(self, fn, shards: list) -> list:
+        """Run ``fn`` over every non-empty shard, concurrently when
+        there is anything to overlap."""
+        live = [s for s in shards if s]
+        if len(live) <= 1 or self.workers == 1:
+            return [fn(s) for s in live]
+        executor = self._executor
+        if executor is None:
+            from concurrent.futures import ThreadPoolExecutor
+            executor = self._executor = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-shard")
+        futures = [executor.submit(fn, s) for s in live]
+        return [f.result() for f in futures]
+
+    def info(self) -> dict:
+        return {"workers": self.workers, "backend": self.backend,
+                "min_batch": self.min_batch}
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self.offload is not None:
+            self.offload.close()
+
+    def __repr__(self) -> str:
+        return (f"ShardPool(workers={self.workers}, "
+                f"backend={self.backend!r})")
+
+
+# ----------------------------------------------------------------------
+# process-pool residual offload
+# ----------------------------------------------------------------------
+
+
+class ResidualOffload:
+    """Evaluate deduplicated residual predicates in child processes.
+
+    Compiled residuals are closures and do not pickle; what ships is
+    the residual *syntax tree* (``spec.analysis.residual``, plain
+    dataclasses) plus the projected value tuples, recompiled in the
+    child.  Any failure — no fork support, a broken pool, an
+    unpicklable payload — permanently disables the offload and the
+    caller evaluates inline on the worker thread instead, so
+    ``backend="process"`` can never change results, only where the
+    CPU time is spent.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self.available = True
+        self._pool = None
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"))
+        return self._pool
+
+    def evaluate(self, deferred: dict) -> dict | None:
+        """``{memo_key: bool}`` for ``{memo_key: (spec, values,
+        old_values)}``, or None when the offload cannot serve (the
+        caller falls back inline)."""
+        if not self.available or not deferred:
+            return None
+        groups: dict[int, list] = {}
+        specs: dict[int, object] = {}
+        for key, (spec, values, old) in deferred.items():
+            if spec.analysis is None or spec.analysis.residual is None:
+                return None
+            specs[id(spec)] = spec
+            groups.setdefault(id(spec), []).append((key, values, old))
+        payload = [(specs[sid].var, specs[sid].analysis.residual,
+                    [(values, old) for _, values, old in rows])
+                   for sid, rows in groups.items()]
+        try:
+            pool = self._ensure_pool()
+            chunks = [payload[i::self.workers]
+                      for i in range(self.workers)]
+            chunks = [c for c in chunks if c]
+            futures = [pool.submit(_eval_residual_groups, chunk)
+                       for chunk in chunks]
+            answers_by_chunk = [f.result() for f in futures]
+        except Exception:
+            self.available = False
+            self.close()
+            return None
+        out: dict = {}
+        group_rows = list(groups.values())
+        # chunks were built by striding payload; reassemble in the same
+        # stride order so answers line up with their groups
+        strided = [group_rows[i::self.workers]
+                   for i in range(self.workers)]
+        strided = [c for c in strided if c]
+        for chunk_groups, chunk_answers in zip(strided,
+                                               answers_by_chunk):
+            for rows, answers in zip(chunk_groups, chunk_answers):
+                for (key, _, _), accepted in zip(rows, answers):
+                    out[key] = accepted
+        return out
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+
+def _eval_residual_groups(groups):
+    """Child-process worker: compile each residual AST once and
+    evaluate its projected value rows; returns one bool list per
+    group."""
+    from repro.lang.expr import Bindings, compile_expr
+    out = []
+    for var, expr, rows in groups:
+        fn = compile_expr(expr)
+        answers = []
+        for values, old in rows:
+            bindings = Bindings(
+                current={var: values},
+                previous={var: old} if old is not None else {})
+            try:
+                answers.append(fn(bindings) is True)
+            except KeyError:
+                answers.append(False)
+        out.append(answers)
+    return out

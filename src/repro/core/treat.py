@@ -79,11 +79,7 @@ class TreatNetwork(DiscriminationNetwork):
             if not self._pnodes[rule.name].insert(
                     Match.of(dict(partial)), self._stamp):
                 return False
-            batch = self._batch
-            if batch is not None:
-                batch.pnode_inserts += 1
-            elif self.stats.enabled:
-                self.stats.bump("pnode.inserts")
+            self._note_pnode_insert()
             return True
         var = order[depth]
         bound = set(partial) | {var}

@@ -27,6 +27,8 @@ docs/ARCHITECTURE.md, "Observing the engine"):
 ``agenda.*``           conflict-resolution selections and stale pruning
 ``rules.*``            firings, matches consumed, cascade depth
 ``tokens.*``           tokens routed, batches propagated
+``shard.*``            sharded propagation (batches sharded, live
+                       shards dispatched, residual offload calls)
 ``joins.*``            seek planning (orders planned / cache hits,
                        β chains planned, unindexed equality probes)
 ``memory.*``           feedback-driven α-memory adaptation (runs, flips)
@@ -79,6 +81,34 @@ class EngineStats:
         if self.enabled:
             counters = self.counters
             counters[key] = counters.get(key, 0) + n
+
+    def note_tokens_routed(self, n: int = 1, batches: int = 0) -> None:
+        """Count routed tokens (and, optionally, a propagated batch).
+
+        The single bookkeeping point shared by the per-token, batched,
+        and sharded propagation paths, so all three count identically
+        (a no-op while disabled).
+        """
+        if self.enabled:
+            counters = self.counters
+            counters["tokens.routed"] = \
+                counters.get("tokens.routed", 0) + n
+            if batches:
+                counters["tokens.batches"] = \
+                    counters.get("tokens.batches", 0) + batches
+
+    def merge_counts(self, mapping: dict[str, int]) -> None:
+        """Fold a worker's local counter dict into this registry.
+
+        The sharded match phase gives each worker a private
+        :class:`EngineStats` (no locks on the hot path) and merges the
+        sums here at the transition boundary; addition commutes, so
+        the merged totals are independent of worker completion order.
+        """
+        if self.enabled and mapping:
+            counters = self.counters
+            for key, value in mapping.items():
+                counters[key] = counters.get(key, 0) + value
 
     def observe_max(self, key: str, value: int) -> None:
         """Track a high-water mark (e.g. deepest rule cascade seen)."""

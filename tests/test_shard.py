@@ -1,0 +1,292 @@
+"""Unit tests for the sharded-propagation layer (repro.core.shard).
+
+The partitioner, the stable shard hash, worker resolution, the pool
+lifecycle (including runtime resizing through the database and the
+``\\workers`` shell command), the process-backend residual offload, and
+the consolidated token-routing counters.
+"""
+
+import io
+import types
+
+import pytest
+
+from repro import Database
+from repro.cli import Shell
+from repro.core.shard import (
+    DEFAULT_MIN_BATCH, ShardPool, merge_results, partition,
+    resolve_workers, shard_hash)
+from repro.errors import ArielError
+from repro.observe import EngineStats
+
+
+def _token(relation, values):
+    return types.SimpleNamespace(relation=relation, values=values)
+
+
+def _index(**anchor_positions):
+    return types.SimpleNamespace(anchor_positions=anchor_positions)
+
+
+# ----------------------------------------------------------------------
+# shard_hash / partition
+# ----------------------------------------------------------------------
+
+
+class TestShardHash:
+    def test_stable_for_strings(self):
+        # crc32-based: the same value must hash identically on every
+        # run (str hashes are salted per process, so a baked-in
+        # constant also guards against an accidental hash() fallback)
+        assert shard_hash("emp", ("alice",)) == \
+            shard_hash("emp", ("alice",))
+        assert shard_hash("emp", ("alice",)) == 402229784
+
+    def test_none_and_numbers(self):
+        assert shard_hash("t", (None,)) == shard_hash("t", (None,))
+        assert shard_hash("t", (1,)) == shard_hash("t", (1.0,))
+        assert shard_hash("t", ()) != shard_hash("u", ())
+
+    def test_distinct_keys_spread(self):
+        buckets = {shard_hash("emp", (float(i),)) % 4
+                   for i in range(64)}
+        assert len(buckets) == 4
+
+
+class TestPartition:
+    def test_covers_every_token_once(self):
+        tokens = [_token("emp", (i, float(i % 5))) for i in range(20)]
+        shards = partition(tokens, _index(emp=(1,)), 4)
+        seen = sorted(idx for shard in shards
+                      for idx, _ in shard)
+        assert seen == list(range(20))
+
+    def test_co_shards_equal_anchor_keys(self):
+        # tokens sharing an anchor value must land in the same shard —
+        # that keeps per-shard probe/residual caches as effective as
+        # the serial batch caches
+        tokens = [_token("emp", (i, 7.0)) for i in range(10)]
+        shards = partition(tokens, _index(emp=(1,)), 4)
+        assert sum(1 for shard in shards if shard) == 1
+
+    def test_preserves_relative_order_within_shard(self):
+        tokens = [_token("emp", (i, float(i % 3))) for i in range(12)]
+        for shard in partition(tokens, _index(emp=(1,)), 3):
+            indexes = [idx for idx, _ in shard]
+            assert indexes == sorted(indexes)
+
+    def test_unanchored_relation_uses_empty_key(self):
+        tokens = [_token("log", (i,)) for i in range(6)]
+        shards = partition(tokens, _index(), 4)
+        assert sum(1 for shard in shards if shard) == 1
+
+
+class TestMergeResults:
+    def test_sums_counters_and_orders_decisions(self):
+        results = [
+            ([(2, ["c2"], ["op2"])], {"x": 1}, 3),
+            ([(0, ["c0"], ["op0"]), (1, ["c1"], ["op1"])],
+             {"x": 2, "y": 5}, 4),
+        ]
+        decisions, counters, memo_hits = merge_results(results)
+        assert sorted(decisions) == [0, 1, 2]
+        assert decisions[1] == (["c1"], ["op1"])
+        assert counters == {"x": 3, "y": 5}
+        assert memo_hits == 7
+
+    def test_none_counters_ignored(self):
+        decisions, counters, hits = merge_results(
+            [([(0, [], [])], None, 0)])
+        assert decisions == {0: ([], [])} and counters == {}
+
+
+# ----------------------------------------------------------------------
+# resolve_workers / ShardPool
+# ----------------------------------------------------------------------
+
+
+class TestResolveWorkers:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(2) == 2
+        assert resolve_workers(0) == 0
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert resolve_workers(None) == 0
+
+    def test_invalid_values_raise(self, monkeypatch):
+        with pytest.raises(ArielError):
+            resolve_workers(-1)
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ArielError):
+            resolve_workers(None)
+
+
+class TestShardPool:
+    def test_accepts_honours_min_batch(self):
+        pool = ShardPool(2, min_batch=10)
+        assert not pool.accepts(9)
+        assert pool.accepts(10)
+        assert ShardPool(2).min_batch == DEFAULT_MIN_BATCH
+        pool.close()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ArielError):
+            ShardPool(2, backend="gpu")
+        with pytest.raises(ArielError):
+            ShardPool(0)
+
+    def test_map_runs_every_live_shard(self):
+        pool = ShardPool(2, min_batch=1)
+        out = pool.map(sum, [[1, 2], [], [3, 4], [5]])
+        assert sorted(out) == [3, 5, 7]
+        pool.close()
+        assert pool._executor is None
+
+    def test_info(self):
+        pool = ShardPool(3, backend="thread", min_batch=5)
+        assert pool.info() == {"workers": 3, "backend": "thread",
+                               "min_batch": 5}
+        pool.close()
+
+
+# ----------------------------------------------------------------------
+# database wiring
+# ----------------------------------------------------------------------
+
+
+ROWS = [("e%03d" % i, 50.0 + (i % 9), 18 + (i % 10))
+        for i in range(120)]
+
+
+def _built(parallel_workers=0, **kwargs):
+    # explicit workers=0 so the serial reference stays serial even when
+    # the suite itself runs under REPRO_WORKERS (the CI worker axis)
+    db = Database(batch_tokens=True, parallel_workers=parallel_workers,
+                  **kwargs)
+    db.execute("create emp (name = text, sal = float8, age = int4)")
+    db.execute("create log (name = text)")
+    db.execute("define rule shard_r1 if emp.sal > 52 and emp.age > 21 "
+               "then append to log(name = emp.name)")
+    db.bulk_append("emp", ROWS)
+    return db
+
+
+class TestDatabaseWiring:
+    def test_parallel_matches_serial(self):
+        serial = _built()
+        sharded = _built(parallel_workers=2)
+        assert sorted(sharded.relation_rows("log")) == \
+            sorted(serial.relation_rows("log"))
+        assert sharded.firings == serial.firings
+        assert sharded.stats.get("shard.batches") >= 1
+        assert serial.stats.get("shard.batches") == 0
+        sharded.close()
+        serial.close()
+
+    def test_process_backend_matches_serial(self):
+        serial = _built()
+        sharded = _built(parallel_workers=2,
+                         parallel_backend="process")
+        assert sorted(sharded.relation_rows("log")) == \
+            sorted(serial.relation_rows("log"))
+        sharded.close()
+        serial.close()
+
+    def test_runtime_resize_and_info(self):
+        db = Database(parallel_workers=0)
+        assert db.parallel_workers == 0
+        assert db.parallel_info() is None
+        db.set_parallel_workers(2, min_batch=4)
+        assert db.parallel_workers == 2
+        assert db.parallel_info() == {"workers": 2,
+                                      "backend": "thread",
+                                      "min_batch": 4}
+        db.set_parallel_workers(3)     # inherits backend + min_batch
+        assert db.parallel_info()["min_batch"] == 4
+        db.set_parallel_workers(0)
+        assert db.parallel_info() is None
+        assert db.manager.network.worker_pool is None
+        db.close()
+
+    def test_close_dissolves_pool(self):
+        db = Database(parallel_workers=2)
+        db.close()
+        assert db.parallel_workers == 0
+
+    def test_env_configuration(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        db = Database()
+        assert db.parallel_workers == 2
+        db.close()
+        explicit = Database(parallel_workers=0)
+        assert explicit.parallel_workers == 0
+        explicit.close()
+
+
+class TestWorkersCommand:
+    def _shell(self):
+        out = io.StringIO()
+        return Shell(Database(parallel_workers=0), out=out), out
+
+    def test_reports_serial_default(self):
+        sh, out = self._shell()
+        sh.feed("\\workers")
+        assert "serial" in out.getvalue()
+
+    def test_sets_and_reports_workers(self):
+        sh, out = self._shell()
+        sh.feed("\\workers 4")
+        sh.feed("\\workers")
+        text = out.getvalue()
+        assert "workers=4" in text and "thread" in text
+        assert sh.db.parallel_workers == 4
+
+    def test_backend_argument_and_reset(self):
+        sh, out = self._shell()
+        sh.feed("\\workers 2 process")
+        assert sh.db.parallel_info()["backend"] == "process"
+        sh.feed("\\workers 0")
+        assert sh.db.parallel_workers == 0
+
+    def test_rejects_garbage(self):
+        sh, out = self._shell()
+        sh.feed("\\workers many")
+        assert "usage" in out.getvalue()
+
+
+# ----------------------------------------------------------------------
+# consolidated routing counters
+# ----------------------------------------------------------------------
+
+
+class TestRoutingCounters:
+    def test_note_tokens_routed(self):
+        stats = EngineStats()
+        stats.note_tokens_routed()
+        stats.note_tokens_routed(5, batches=1)
+        assert stats.get("tokens.routed") == 6
+        assert stats.get("tokens.batches") == 1
+
+    def test_note_tokens_routed_disabled(self):
+        stats = EngineStats(enabled=False)
+        stats.note_tokens_routed(5, batches=1)
+        assert stats.get("tokens.routed") == 0
+
+    def test_merge_counts(self):
+        stats = EngineStats()
+        stats.bump("x", 2)
+        stats.merge_counts({"x": 3, "y": 1})
+        assert stats.get("x") == 5 and stats.get("y") == 1
+
+    def test_sharded_counts_match_serial(self):
+        serial = _built()
+        sharded = _built(parallel_workers=4)
+        for key in ("tokens.routed", "pnode.inserts",
+                    "selection.probes", "selection.stab_memo_hits"):
+            assert sharded.stats.get(key) == serial.stats.get(key), key
+        sharded.close()
+        serial.close()
