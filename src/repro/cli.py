@@ -10,7 +10,9 @@ inspect the system:
 ``\\rule name`` describe one rule's network and modified action
 ``\\plan name`` show one rule's adaptive join plan: per-memory
                stored/virtual decision, join-index set, probe
-               feedback, and the seek order from every seed
+               feedback, and the seek order from every seed —
+               multiway (leapfrog) plans print the trie level
+               sequence with each participant's iterator source
 ``\\explain q`` show the plan for a data command; ``\\explain analyze
                q`` executes it and annotates every operator with rows,
                loops and wall time

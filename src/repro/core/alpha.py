@@ -23,6 +23,7 @@ specifiers, which retract prior assertions.
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -195,6 +196,10 @@ class AlphaMemory:
         self._join_indexes: dict[int, dict[object,
                                            dict[TupleId,
                                                 MemoryEntry]]] = {}
+        # position -> sorted distinct join-key values (the leapfrog
+        # iterator view over the join index); built lazily by
+        # sorted_join_keys and maintained by insert/remove/flush
+        self._sorted_keys: dict[int, list] = {}
         # position -> accumulated un-indexed equality-scan cost; feeds
         # the on-the-fly promotion decision in note_unindexed_probe
         self._unindexed_cost: dict[int, int] = {}
@@ -230,10 +235,19 @@ class AlphaMemory:
         if self._join_indexes:
             for position, buckets in self._join_indexes.items():
                 if existing is not None:
-                    self._unindex(buckets, existing.values[position],
+                    self._unindex(position, buckets,
+                                  existing.values[position],
                                   existing.tid)
-                buckets.setdefault(entry.values[position],
-                                   {})[entry.tid] = entry
+                value = entry.values[position]
+                bucket = buckets.get(value)
+                if bucket is None:
+                    buckets[value] = {entry.tid: entry}
+                    keys = self._sorted_keys.get(position)
+                    if keys is not None and value is not None \
+                            and value == value:
+                        insort(keys, value)
+                else:
+                    bucket[entry.tid] = entry
         return True
 
     def remove(self, tid: TupleId) -> MemoryEntry | None:
@@ -246,7 +260,8 @@ class AlphaMemory:
                 counters["alpha.deletes"] = \
                     counters.get("alpha.deletes", 0) + 1
             for position, buckets in self._join_indexes.items():
-                self._unindex(buckets, entry.values[position], tid)
+                self._unindex(position, buckets, entry.values[position],
+                              tid)
         return entry
 
     def get(self, tid: TupleId) -> MemoryEntry | None:
@@ -261,6 +276,7 @@ class AlphaMemory:
         self._entries.clear()
         for buckets in self._join_indexes.values():
             buckets.clear()
+        self._sorted_keys.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -333,13 +349,43 @@ class AlphaMemory:
             return iter(())
         return iter(list(bucket.values()))
 
-    @staticmethod
-    def _unindex(buckets, value, tid: TupleId) -> None:
+    def sorted_join_keys(self, position: int) -> list:
+        """Sorted distinct join-key values of the ``position`` join
+        index — the leapfrog triejoin's iterator view (ascending keys,
+        ``seek`` by bisection).  Lazily materialised on first demand,
+        then maintained incrementally: insert/remove adjust it only
+        when a bucket appears or drains, and :meth:`flush` drops it
+        with the rest of the Δ-set state.  Null and NaN keys are
+        excluded — under three-valued logic they never satisfy an
+        equi-join conjunct.  Only valid after :meth:`ensure_join_index`
+        for the position.  Callers must treat the list as read-only.
+        """
+        keys = self._sorted_keys.get(position)
+        if keys is None:
+            keys = self._sorted_keys[position] = sorted(
+                key for key in self._join_indexes[position]
+                if key is not None and key == key)
+            if self.stats.enabled:
+                self.stats.bump("alpha.sorted_views_built")
+        return keys
+
+    def sorted_view_positions(self) -> list[int]:
+        """The positions whose sorted iterator view is materialised."""
+        return list(self._sorted_keys)
+
+    def _unindex(self, position: int, buckets, value,
+                 tid: TupleId) -> None:
         bucket = buckets.get(value)
         if bucket is not None:
             bucket.pop(tid, None)
             if not bucket:
                 del buckets[value]
+                keys = self._sorted_keys.get(position)
+                if keys is not None and value is not None \
+                        and value == value:
+                    i = bisect_left(keys, value)
+                    if i < len(keys) and keys[i] == value:
+                        del keys[i]
 
     def __repr__(self) -> str:
         return (f"AlphaMemory({self.rule_name}/{self.spec.var}, "

@@ -19,17 +19,72 @@ lifecycle, index creation).
 The same machinery plans the Rete β-chain order
 (:meth:`JoinPlanner.chain_order`), recomputed whenever a rule's chain
 is rebuilt from α contents.
+
+Beyond *ordering* the pairwise chain, the planner also decides the join
+**algorithm**: for cyclic or many-variable equi-join graphs — where every
+pairwise order enumerates a superlinear intermediate — it can route the
+step to the worst-case-optimal leapfrog triejoin of
+:mod:`repro.core.leapfrog` (:meth:`JoinPlanner.seek_plan` for TREAT,
+:meth:`JoinPlanner.chain_plan` for Rete).  The choice is cost-driven,
+memoized per cardinality-bucket signature with the same catalog-version
+invalidation, and overridable per Database via ``join_mode`` (or the
+``REPRO_JOIN_MODE`` environment variable): ``auto`` (default),
+``pairwise``, or ``multiway``.
 """
 
 from __future__ import annotations
 
 import math
+import os
 
+from repro.catalog.schema import AttributeType
+from repro.core.leapfrog import (
+    build_join_classes, build_plan, equijoin_graph_is_cyclic)
 from repro.core.rules import CompiledRule
+from repro.errors import RuleError
 
 #: additive cost making a variable with no join conjunct to the bound
 #: set (a cartesian step) lose to any connected alternative
 _CARTESIAN_COST = 1.0e12
+
+#: under ``auto``, multiway must beat the estimated pairwise cost by
+#: this margin — hysteresis against flapping on crude estimates
+_MULTIWAY_MARGIN = 0.75
+
+JOIN_MODES = ("auto", "pairwise", "multiway")
+
+
+def resolve_join_mode(mode: str | None) -> str:
+    """Resolve a ``join_mode`` setting: an explicit value wins, then the
+    ``REPRO_JOIN_MODE`` environment variable, then ``"auto"`` (the same
+    resolution scheme as ``shard.resolve_workers``)."""
+    if mode is None:
+        raw = os.environ.get("REPRO_JOIN_MODE", "").strip().lower()
+        mode = raw or "auto"
+    if mode not in JOIN_MODES:
+        raise RuleError(f"unknown join mode {mode!r}; expected one of "
+                        + ", ".join(repr(m) for m in JOIN_MODES))
+    return mode
+
+
+class _MultiwayShape:
+    """Structural multiway facts of one rule, memoized per rule.
+
+    ``candidate`` — the shape where pairwise degrades (cyclic graph, or
+    4+ variables) and ``auto`` should weigh multiway at all;
+    ``eligible`` — multiway is executable and semantics-preserving
+    (every variable reaches an equi-join class, and no class mixes text
+    with numeric attributes, which sorted views cannot compare).
+    """
+
+    __slots__ = ("classes", "cyclic", "candidate", "eligible", "reason")
+
+    def __init__(self, classes, cyclic, candidate, eligible, reason):
+        self.classes = classes
+        self.cyclic = cyclic
+        self.candidate = candidate
+        self.eligible = eligible
+        self.reason = reason
 
 
 class JoinPlanner:
@@ -39,14 +94,23 @@ class JoinPlanner:
     (:meth:`order`) and the Rete β-chain rebuild (:meth:`chain_order`).
     """
 
-    def __init__(self, network):
+    def __init__(self, network, mode: str | None = None):
         self.network = network
+        #: "auto" | "pairwise" | "multiway" (see :func:`resolve_join_mode`)
+        self.mode = resolve_join_mode(mode)
         #: test hook: a callable ``(rule, seed_var) -> list[str]`` that
         #: overrides :meth:`order` entirely (the join-order permutation
-        #: property test and the static-baseline benchmark use it)
+        #: property test and the static-baseline benchmark use it);
+        #: forcing an order also forces the pairwise algorithm
         self.forced = None
         self._orders: dict[tuple, list[str]] = {}
         self._chains: dict[tuple, list[str]] = {}
+        # algorithm decisions and compiled multiway plans, memoized like
+        # the orders (per cardinality-bucket signature)
+        self._seek_plans: dict[tuple, tuple] = {}
+        self._chain_plans: dict[tuple, tuple] = {}
+        self._multiway_plans: dict[tuple, object] = {}
+        self._shapes: dict[str, _MultiwayShape] = {}
         # (rule, var, relation-cardinality bucket) -> estimated rows a
         # virtual memory's selection keeps (Statistics calls are not
         # hot-path cheap, so they are cached alongside the orders)
@@ -58,16 +122,22 @@ class JoinPlanner:
     # ------------------------------------------------------------------
 
     def invalidate(self) -> None:
-        """Drop every memoized order and estimate."""
+        """Drop every memoized order, plan and estimate."""
         self._orders.clear()
         self._chains.clear()
+        self._seek_plans.clear()
+        self._chain_plans.clear()
+        self._multiway_plans.clear()
+        self._shapes.clear()
         self._virtual_rows.clear()
 
     def forget(self, rule_name: str) -> None:
         """Drop cached plans of one rule (rule removal)."""
-        for cache in (self._orders, self._chains):
+        for cache in (self._orders, self._chains, self._seek_plans,
+                      self._chain_plans, self._multiway_plans):
             for key in [k for k in cache if k[0] == rule_name]:
                 del cache[key]
+        self._shapes.pop(rule_name, None)
 
     def _sync(self) -> None:
         version = self.network.catalog.version
@@ -115,6 +185,210 @@ class JoinPlanner:
         if self.network.stats.enabled:
             self.network.stats.bump("joins.chains_planned")
         return chain
+
+    # ------------------------------------------------------------------
+    # join-algorithm selection (pairwise chain vs leapfrog multiway)
+    # ------------------------------------------------------------------
+
+    def seek_plan(self, rule: CompiledRule,
+                  seed_var: str) -> tuple[str, object]:
+        """The TREAT join step for one seed: ``("pairwise", order)`` or
+        ``("multiway", MultiwayPlan)``.  Pairwise is the default — and
+        the only choice for 2-variable rules, forced orders, and
+        ``join_mode="pairwise"`` — so acyclic small rules keep the
+        exact PR 4 seek path."""
+        if self.forced is not None or self.mode == "pairwise" \
+                or len(rule.variables) < 3:
+            return ("pairwise", self.order(rule, seed_var))
+        self._sync()
+        key = (rule.name, seed_var, self._signature(rule))
+        decision = self._seek_plans.get(key)
+        if decision is None:
+            decision = self._seek_plans[key] = self._decide(rule,
+                                                            seed_var)
+        if decision[0] == "pairwise":
+            return ("pairwise", self.order(rule, seed_var))
+        return decision
+
+    def chain_plan(self, rule: CompiledRule) -> tuple[str, object]:
+        """The Rete analogue of :meth:`seek_plan`, decided whenever the
+        β chain is rebuilt: ``("pairwise", chain_order)`` keeps the β
+        chain; ``("multiway", MultiwayPlan)`` (the seedless full plan)
+        bypasses β state entirely for this rule."""
+        if self.forced is not None or self.mode == "pairwise" \
+                or len(rule.variables) < 3:
+            return ("pairwise", self.chain_order(rule))
+        self._sync()
+        key = (rule.name, self._signature(rule))
+        decision = self._chain_plans.get(key)
+        if decision is None:
+            decision = self._chain_plans[key] = self._decide(rule, None)
+        if decision[0] == "pairwise":
+            return ("pairwise", self.chain_order(rule))
+        return decision
+
+    def multiway_seek_plan(self, rule: CompiledRule, seed_var: str):
+        """The seeded multiway plan for a rule whose Rete state pinned
+        multiway at rebuild time — built unconditionally, since the
+        algorithm must stay what the β-less state assumes until the
+        next rebuild."""
+        self._sync()
+        key = (rule.name, seed_var)
+        plan = self._multiway_plans.get(key)
+        if plan is None:
+            shape = self._shape(rule)
+            plan = build_plan(rule, seed_var, shape.classes,
+                              self._class_order(rule, seed_var, shape))
+            self._multiway_plans[key] = plan
+        return plan
+
+    def _decide(self, rule: CompiledRule,
+                seed_var: str | None) -> tuple[str, object]:
+        shape = self._shape(rule)
+        stats = self.network.stats
+        if not shape.eligible or (self.mode != "multiway"
+                                  and not shape.candidate):
+            if shape.candidate and not shape.eligible and stats.enabled:
+                stats.bump("joins.multiway_fallbacks")
+            return ("pairwise", None)
+        if self.mode != "multiway":
+            pairwise_cost = self._pairwise_cost(rule, seed_var)
+            multiway_cost = self._multiway_cost(rule, seed_var, shape)
+            if multiway_cost >= pairwise_cost * _MULTIWAY_MARGIN:
+                if stats.enabled:
+                    stats.bump("joins.multiway_fallbacks")
+                return ("pairwise", None)
+        plan = build_plan(rule, seed_var, shape.classes,
+                          self._class_order(rule, seed_var, shape))
+        if stats.enabled:
+            stats.bump("joins.multiway_planned")
+        return ("multiway", plan)
+
+    def _shape(self, rule: CompiledRule) -> _MultiwayShape:
+        shape = self._shapes.get(rule.name)
+        if shape is None:
+            shape = self._shapes[rule.name] = self._build_shape(rule)
+        return shape
+
+    def _build_shape(self, rule: CompiledRule) -> _MultiwayShape:
+        classes = build_join_classes(rule)
+        covered: set[str] = set()
+        for cls in classes:
+            covered.update(cls.positions)
+        eligible, reason = True, ""
+        if not classes:
+            eligible, reason = False, "no equi-join conjuncts"
+        elif covered != set(rule.variables):
+            missing = ", ".join(sorted(set(rule.variables) - covered))
+            eligible, reason = False, \
+                f"variable(s) {missing} reach no equi-join"
+        elif not self._class_types_compatible(rule, classes):
+            eligible, reason = False, \
+                "join class mixes text and numeric attributes"
+        cyclic = equijoin_graph_is_cyclic(rule)
+        candidate = cyclic or len(rule.variables) >= 4
+        return _MultiwayShape(classes, cyclic, candidate, eligible,
+                              reason)
+
+    def _class_types_compatible(self, rule: CompiledRule,
+                                classes) -> bool:
+        """Can each class's attributes be compared under one sort
+        order?  int/float/bool share Python's numeric ordering; text
+        does not mix with them (sorted views would raise TypeError)."""
+        catalog = self.network.catalog
+        for cls in classes:
+            families = set()
+            for var, positions in cls.positions.items():
+                schema = catalog.relation(
+                    rule.specs[var].relation).schema
+                for position in positions:
+                    families.add(schema.attributes[position].type
+                                 is AttributeType.TEXT)
+            if len(families) > 1:
+                return False
+        return True
+
+    def _class_order(self, rule: CompiledRule, seed_var: str | None,
+                     shape: _MultiwayShape) -> list[int]:
+        """Level order for the classes the seed does not fix: smallest
+        estimated participant first, class index as the tie-break."""
+        remaining = [cls for cls in shape.classes
+                     if seed_var is None
+                     or seed_var not in cls.positions]
+        return [cls.index for cls in sorted(
+            remaining,
+            key=lambda cls: (min(self._rows(rule, var)
+                                 for var in cls.positions),
+                             cls.index))]
+
+    def _pairwise_cost(self, rule: CompiledRule,
+                       seed_var: str | None) -> float:
+        """Simulated cost of the pairwise chain: each step's access
+        cost scaled by the expected fan-out of the steps before it."""
+        if seed_var is None:
+            order = self.chain_order(rule)
+            bound = {order[0]}
+            fanout = max(self._rows(rule, order[0]), 1.0)
+            total = fanout
+            steps = order[1:]
+        else:
+            bound = {seed_var}
+            fanout = 1.0
+            total = 0.0
+            steps = self.order(rule, seed_var)
+        for var in steps:
+            total += fanout * self._step_cost(rule, var, bound)
+            fanout *= max(self._expected_out(rule, var, bound), 0.5)
+            bound.add(var)
+        return total
+
+    def _multiway_cost(self, rule: CompiledRule, seed_var: str | None,
+                       shape: _MultiwayShape) -> float:
+        """Leapfrog cost: per level, every participant's restricted
+        view is built (linear in its restricted size, plus a galloping
+        log factor), and the intersection's output — the next level's
+        fan-out — is bounded by the smallest view."""
+        stats = self.network.optimizer.stats
+        constrained: set[str] = set()
+        if seed_var is not None:
+            for cls in shape.classes:
+                if seed_var in cls.positions:
+                    constrained.update(v for v in cls.positions
+                                       if v != seed_var)
+        total, fanout = 0.0, 1.0
+        for class_index in self._class_order(rule, seed_var, shape):
+            cls = shape.classes[class_index]
+            ests = []
+            for var in sorted(cls.positions):
+                rows = self._rows(rule, var)
+                if var in constrained:
+                    spec = rule.specs[var]
+                    attr = self._attr_name(rule, var,
+                                           cls.positions[var][0])
+                    rows = stats.equijoin_bucket(spec.relation, attr,
+                                                 rows)
+                ests.append(max(rows, 0.5))
+            total += fanout * (sum(ests) + math.log2(max(ests) + 2.0))
+            fanout *= max(min(ests), 0.5)
+            constrained.update(cls.positions)
+        return total
+
+    def _expected_out(self, rule: CompiledRule, var: str,
+                      bound: set[str]) -> float:
+        """Expected candidates one pairwise step emits per upstream
+        combination."""
+        rows = self._rows(rule, var)
+        equi = self._bound_equijoin(rule, var, bound)
+        if equi is not None:
+            return self.network.optimizer.stats.equijoin_bucket(
+                rule.specs[var].relation, equi[0], rows)
+        return rows
+
+    def _attr_name(self, rule: CompiledRule, var: str,
+                   position: int) -> str:
+        relation = self.network.catalog.relation(
+            rule.specs[var].relation)
+        return relation.schema.attributes[position].name
 
     # ------------------------------------------------------------------
     # the greedy cost model
@@ -262,12 +536,61 @@ class JoinPlanner:
                     f"{memory.probe_count} probe(s), "
                     f"{memory.unindexed_probe_count} unindexed")
         if len(rule.variables) > 1:
+            if len(rule.variables) >= 3 and self.mode != "pairwise" \
+                    and self.forced is None:
+                shape = self._shape(rule)
+                graph = "cyclic" if shape.cyclic else "acyclic"
+                note = "" if shape.eligible \
+                    else f" — pairwise only ({shape.reason})"
+                lines.append(
+                    f"  multiway: {graph} equi-join graph, "
+                    f"{len(shape.classes)} join class(es), "
+                    f"mode={self.mode}{note}")
             for seed in rule.variables:
-                order = self.order(rule, seed)
-                lines.append(f"  seek from {seed}: "
-                             + " -> ".join([seed] + order))
+                mode, payload = self.seek_plan(rule, seed)
+                if mode == "multiway":
+                    lines.append(f"  seek from {seed}: "
+                                 + self._describe_multiway(rule,
+                                                           payload))
+                else:
+                    lines.append(f"  seek from {seed}: "
+                                 + " -> ".join([seed] + payload))
             states = getattr(network, "_states", None)
             if states is not None and rule.name in states:
-                lines.append("  beta chain: "
-                             + " -> ".join(states[rule.name].order))
+                state = states[rule.name]
+                if getattr(state, "multiway_plan", None) is not None:
+                    lines.append("  beta chain: bypassed "
+                                 "(multiway join step)")
+                else:
+                    lines.append("  beta chain: "
+                                 + " -> ".join(state.order))
         return "\n".join(lines)
+
+    def _describe_multiway(self, rule: CompiledRule, plan) -> str:
+        """One-line rendering of a multiway plan: the leapfrog level
+        sequence with each participant's iterator source, then the
+        emission order."""
+        network = self.network
+        parts = []
+        for level in plan.levels:
+            sources = []
+            for level_var in level.vars:
+                memory = network._memories[(rule.name, level_var.var)]
+                attr = self._attr_name(rule, level_var.var,
+                                       level_var.positions[0])
+                if memory.is_virtual:
+                    source = "virtual scan"
+                elif level_var.constraints:
+                    source = "restricted probe"
+                elif memory.has_join_index(level_var.positions[0]):
+                    source = "sorted join-index view"
+                else:
+                    source = "memory scan"
+                sources.append(f"{level_var.var}.{attr} via {source}")
+            parts.append("leapfrog[" + " & ".join(sources) + "]")
+        for var, _constraints in plan.prefixed:
+            parts.append(f"{var} via restricted probe")
+        seed = plan.seed_var if plan.seed_var is not None else "(all)"
+        emit = " -> ".join(plan.emit_order)
+        levels = "; ".join(parts) if parts else "seed-fixed"
+        return f"multiway from {seed}: {levels}; emit {emit}"

@@ -78,6 +78,7 @@ class RuleManager:
                  max_rule_cascade: int = 1000,
                  stats: EngineStats | None = None,
                  join_index_policy: str = "demand",
+                 join_mode: str | None = None,
                  worker_pool=None):
         self.catalog = catalog
         self.optimizer = optimizer or Optimizer(catalog)
@@ -90,7 +91,8 @@ class RuleManager:
             virtual_policy=virtual_policy,
             on_match=self.agenda.notify,
             stats=self.stats,
-            join_index_policy=join_index_policy)
+            join_index_policy=join_index_policy,
+            join_mode=join_mode)
         # sharded propagation worker pool (None = serial; the Database
         # owns the pool's lifecycle and may swap it at runtime)
         self.network.worker_pool = worker_pool

@@ -33,6 +33,7 @@ from repro.core.alpha import (
     AlphaMemory, MemoryEntry, MemoryOp, VirtualAlphaMemory, dispatch,
     residual_memo_key)
 from repro.core.join_planner import JoinPlanner
+from repro.core.leapfrog import multiway_seek
 from repro.core.pnode import Match, PNode
 from repro.core.rules import CompiledRule, VariableSpec
 from repro.core.selection_index import SelectionIndex
@@ -64,7 +65,8 @@ class DiscriminationNetwork:
                  virtual_policy: VirtualPolicy = "auto",
                  on_match: Callable[[CompiledRule], None] | None = None,
                  stats: EngineStats | None = None,
-                 join_index_policy: str = "demand"):
+                 join_index_policy: str = "demand",
+                 join_mode: str | None = None):
         self.catalog = catalog
         self.optimizer = optimizer or Optimizer(catalog)
         self.selection_index = selection_index or SelectionIndex()
@@ -82,9 +84,10 @@ class DiscriminationNetwork:
         #: :meth:`AlphaMemory.note_unindexed_probe` promote them at
         #: runtime once a scan-cost threshold is crossed
         self.join_index_policy = join_index_policy
-        #: the adaptive seek/chain-order planner (cost-driven ordering,
-        #: memoized per cardinality bucket)
-        self.join_planner = JoinPlanner(self)
+        #: the adaptive seek/chain-order planner (cost-driven ordering
+        #: and pairwise-vs-multiway algorithm choice, memoized per
+        #: cardinality bucket)
+        self.join_planner = JoinPlanner(self, mode=join_mode)
         self.on_match = on_match or (lambda rule: None)
         self.rules: dict[str, CompiledRule] = {}
         self._memories: dict[tuple[str, str],
@@ -630,6 +633,18 @@ class DiscriminationNetwork:
         Called once per (rule, token); α-memory and P-node cleanup has
         already happened.
         """
+
+    def _run_multiway(self, rule: CompiledRule, plan,
+                      seed_entry: MemoryEntry | None, pending_vars,
+                      token: Token | None) -> bool:
+        """Run one leapfrog-triejoin step (see
+        :func:`repro.core.leapfrog.multiway_seek`); returns True when
+        the rule's P-node gained a match.  Always called from the
+        serial apply phase, so it composes with sharded propagation."""
+        if self.stats.enabled:
+            self.stats.bump("joins.multiway_seeks")
+        return multiway_seek(self, rule, plan, seed_entry, pending_vars,
+                             token)
 
     def _sorted_probe(self, token: Token, stab_cache: dict | None,
                       stats: EngineStats | None = None) -> list:

@@ -35,6 +35,11 @@ class _ReteState:
     """The β chain of one rule."""
 
     def __init__(self, rule: CompiledRule):
+        #: pinned at :meth:`ReteNetwork._rebuild`: when set, the rule
+        #: runs the leapfrog multiway step and keeps no β state at all
+        #: (the only safe place to flip algorithms — β keys are tid
+        #: tuples over order prefixes, meaningless across a switch)
+        self.multiway_plan = None
         self.set_order(rule, list(rule.variables))
 
     def set_order(self, rule: CompiledRule, order: list[str]) -> None:
@@ -101,7 +106,16 @@ class ReteNetwork(DiscriminationNetwork):
         state.clear()
         if len(rule.variables) == 1:
             return
-        order = self.join_planner.chain_order(rule)
+        mode, payload = self.join_planner.chain_plan(rule)
+        if mode == "multiway":
+            # β-less: re-derive the P-node by a full (seedless) trie
+            # walk — stamp-count identical to the pairwise re-cascade,
+            # since both advance once per complete combination.
+            state.multiway_plan = payload
+            self._run_multiway(rule, payload, None, frozenset(), None)
+            return
+        state.multiway_plan = None
+        order = payload
         if order != state.order:
             state.set_order(rule, order)
         first = self._memories[(rule.name, state.order[0])]
@@ -125,6 +139,12 @@ class ReteNetwork(DiscriminationNetwork):
         if len(rule.variables) == 1:
             return            # simple-α routed by the base class
         state = self._states[rule.name]
+        if state.multiway_plan is not None:
+            plan = self.join_planner.multiway_seek_plan(rule, spec.var)
+            if self._run_multiway(rule, plan, entry,
+                                  frozenset(pending_vars), token):
+                self.on_match(rule)
+            return
         i = state.order.index(spec.var)
         pending = frozenset(pending_vars)
         if i == 0:

@@ -57,12 +57,25 @@ class TreatNetwork(DiscriminationNetwork):
     def _seek(self, rule: CompiledRule, seed_var: str,
               seed_entry: MemoryEntry, pending_vars: set[str],
               token: Token) -> None:
-        """Find every new complete combination seeded by one entry."""
+        """Find every new complete combination seeded by one entry.
+
+        The planner picks the algorithm per (rule, seed): the pairwise
+        probe chain of :meth:`_extend` (the default), or the leapfrog
+        triejoin for cyclic/many-variable conditions.  Both advance the
+        stamp once per complete combination, so agenda recency cannot
+        tell them apart.
+        """
         stats = self.stats
         if stats.enabled:
             counters = stats.counters
             counters["joins.seeks"] = counters.get("joins.seeks", 0) + 1
-        order = self.join_planner.order(rule, seed_var)
+        mode, payload = self.join_planner.seek_plan(rule, seed_var)
+        if mode == "multiway":
+            if self._run_multiway(rule, payload, seed_entry,
+                                  pending_vars, token):
+                self.on_match(rule)
+            return
+        order = payload
         partial: dict[str, MemoryEntry] = {seed_var: seed_entry}
         bindings = Bindings()
         self._bind(bindings, seed_var, seed_entry)

@@ -126,6 +126,15 @@ class Database:
         runtime once an equality-probed position accumulates enough
         full-scan cost; ``"eager"`` builds them for every equi-join
         position at rule activation (the pre-adaptive behaviour).
+    join_mode:
+        Join-algorithm policy for multi-variable rules: ``"auto"``
+        (default) lets the planner pick the worst-case-optimal
+        leapfrog multiway step for cyclic/many-variable equi-join
+        graphs when its estimated cost wins, ``"pairwise"`` keeps the
+        classic probe chain everywhere, ``"multiway"`` forces the
+        leapfrog step wherever it is structurally eligible.  ``None``
+        reads the ``REPRO_JOIN_MODE`` environment variable
+        (absent/empty = ``"auto"``).
     durable_path:
         Directory for durable state (a checkpoint script plus a
         write-ahead log of committed transitions).  Starts *fresh*: an
@@ -163,6 +172,7 @@ class Database:
                  batch_tokens: bool = False,
                  statement_cache_size: int = 128,
                  join_index_policy: str = "demand",
+                 join_mode: str | None = None,
                  durable_path=None,
                  fsync: str = "commit",
                  checkpoint_every: int = 1000,
@@ -192,7 +202,7 @@ class Database:
             virtual_policy or default_policy, selection_index,
             max_rule_cascade=max_firings, stats=self.stats,
             join_index_policy=join_index_policy,
-            worker_pool=self._pool)
+            join_mode=join_mode, worker_pool=self._pool)
         self.deltasets = DeltaSets()
         self.undo = UndoLog()
         self.hooks = TransitionHooks(self.catalog, self.deltasets,

@@ -31,6 +31,9 @@ docs/ARCHITECTURE.md, "Observing the engine"):
                        shards dispatched, residual offload calls)
 ``joins.*``            seek planning (orders planned / cache hits,
                        β chains planned, unindexed equality probes)
+                       and the multiway join step (multiway plans
+                       chosen, cost/shape fallbacks to pairwise,
+                       multiway seeks run, leapfrog iterator seeks)
 ``memory.*``           feedback-driven α-memory adaptation (runs, flips)
 ``stmt_cache.*``       transparent statement-cache hits / misses
 ``plan_cache.*``       prepared-statement executions / replans
