@@ -16,9 +16,10 @@ Entry point::
 
 from repro.db import Database
 from repro.errors import (
-    ArielError, CatalogError, DegradedError, DurabilityError,
-    ExecutionError, ParseError, PlanError, RuleError, RuleLoopError,
-    SemanticError, StorageError, TransactionError, WalCorruptError)
+    ArielError, CatalogError, DatabaseClosedError, DegradedError,
+    DurabilityError, ExecutionError, ParseError, PlanError, RuleError,
+    RuleLoopError, SemanticError, ServiceError, SessionError,
+    StorageError, TransactionError, WalCorruptError)
 from repro.faults import FaultRegistry, SimulatedCrash
 from repro.observe import EngineStats, TraceHub
 
@@ -27,9 +28,10 @@ __version__ = "1.0.0"
 __all__ = [
     "Database", "EngineStats", "TraceHub",
     "FaultRegistry", "SimulatedCrash",
-    "ArielError", "CatalogError", "DegradedError", "DurabilityError",
-    "ExecutionError", "ParseError", "PlanError", "RuleError",
-    "RuleLoopError", "SemanticError", "StorageError",
+    "ArielError", "CatalogError", "DatabaseClosedError",
+    "DegradedError", "DurabilityError", "ExecutionError", "ParseError",
+    "PlanError", "RuleError", "RuleLoopError", "SemanticError",
+    "ServiceError", "SessionError", "StorageError",
     "TransactionError", "WalCorruptError",
     "__version__",
 ]

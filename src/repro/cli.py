@@ -34,6 +34,9 @@ inspect the system:
 ``\\workers``   sharded-propagation pool: ``\\workers`` inspects it,
                ``\\workers N [thread|process]`` resizes it (0 =
                serial)
+``\\serve``     concurrent serving: ``\\serve [host[:port]]`` exposes
+               the session database over TCP (``\\serve status``
+               inspects it, ``\\serve stop`` shuts it down)
 ``\\checkpoint``  force a checkpoint (durable databases only)
 ``\\q``         quit
 =============  ====================================================
@@ -77,6 +80,7 @@ class Shell:
         self._timing = False
         self._prepared: dict[str, Prepared] = {}
         self._trace_token: int | None = None
+        self._server = None         # RuleServer started by \serve
 
     # ------------------------------------------------------------------
 
@@ -93,6 +97,7 @@ class Shell:
                 break
             if not self.feed(line.rstrip("\n")):
                 break
+        self._stop_server()
 
     def feed(self, line: str) -> bool:
         """Process one input line; returns False to quit."""
@@ -227,6 +232,8 @@ class Shell:
                 self._wal_status()
             elif command == "\\workers":
                 self._workers(argument)
+            elif command == "\\serve":
+                self._serve(argument)
             elif command == "\\checkpoint":
                 self.db.checkpoint()
                 self._print("checkpoint complete")
@@ -236,7 +243,8 @@ class Shell:
                             f"\\explain, \\begin, \\commit, \\abort, "
                             f"\\net, \\stats, \\trace, \\timing, "
                             f"\\prepare, \\exec, \\dump, \\load, "
-                            f"\\wal, \\checkpoint, \\workers, \\q)")
+                            f"\\wal, \\checkpoint, \\workers, "
+                            f"\\serve, \\q)")
         except (ArielError, OSError, UnicodeError) as exc:
             self._print(f"error: {exc}")
         return True
@@ -258,6 +266,10 @@ class Shell:
             self._print(f"error: could not load {argument}: {exc}")
             self._print("the session database is unchanged")
             return
+        if self._server is not None:
+            self._stop_server()
+            self._print("rule server stopped (it served the old "
+                        "database)")
         self.db = loaded
         # the trace registration died with the old database
         self._trace_token = None
@@ -297,6 +309,73 @@ class Shell:
             self._print(f"workers={info['workers']} "
                         f"backend={info['backend']} "
                         f"min_batch={info['min_batch']}")
+
+    def _serve(self, argument: str) -> None:
+        """``\\serve [host[:port] | status | stop]`` — expose the
+        session database to concurrent clients over TCP.
+
+        While serving, shell commands and remote clients share one
+        database: the shell's own mutations bypass the service's write
+        queue, so quiesce the shell (or use only ``\\serve status``)
+        when clients depend on the serialized ordering guarantee.
+        """
+        from repro.serve import RuleServer, RuleService
+        if argument == "stop":
+            if self._server is None:
+                self._print("no rule server is running")
+            else:
+                self._stop_server()
+                self._print("rule server stopped")
+            return
+        if argument == "status":
+            if self._server is None:
+                self._print("no rule server is running")
+            else:
+                host, port = self._server.address
+                status = self._server.service.status()
+                self._print(f"serving on {host}:{port}")
+                self._print(f"sessions            {status['sessions']}")
+                self._print(f"transaction owner   "
+                            f"{status['transaction_owner']}")
+                self._print(f"write queue depth   "
+                            f"{status['queue_depth']}")
+                self._print(f"serialized commands "
+                            f"{status['serial_log_entries']}")
+            return
+        if self._server is not None:
+            host, port = self._server.address
+            self._print(f"already serving on {host}:{port} "
+                        f"(\\serve stop to stop)")
+            return
+        host, port = "127.0.0.1", 0
+        if argument:
+            host, colon, port_text = argument.rpartition(":")
+            if not colon:
+                host, port_text = argument, ""
+            if port_text:
+                try:
+                    port = int(port_text)
+                except ValueError:
+                    self._print("usage: \\serve [host[:port]"
+                                " | status | stop]")
+                    return
+        server = RuleServer(RuleService(db=self.db), host=host,
+                            port=port)
+        try:
+            host, port = server.start()
+        except OSError as exc:
+            self._print(f"error: could not bind: {exc}")
+            return
+        self._server = server
+        self._print(f"serving the session database on {host}:{port} "
+                    f"(\\serve status, \\serve stop)")
+
+    def _stop_server(self) -> None:
+        """Stop the \\serve server, if one is running (keeps self.db
+        open — the shell still owns it)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.stop(shutdown_service=True, close_db=False)
 
     def _trace(self, argument: str) -> None:
         if argument == "on":

@@ -36,8 +36,8 @@ from repro.core.selection_index import SelectionIndex
 from repro.core.shard import ShardPool, resolve_workers
 from repro.core.treat import TreatNetwork
 from repro.errors import (
-    ArielError, DegradedError, DurabilityError, ExecutionError,
-    TransactionError, WalCorruptError)
+    ArielError, DatabaseClosedError, DegradedError, DurabilityError,
+    ExecutionError, TransactionError, WalCorruptError)
 from repro.executor.executor import (
     DmlResult, ExecutionContext, Executor, ResultSet)
 from repro.faults import FaultRegistry, SimulatedCrash
@@ -233,6 +233,7 @@ class Database:
         self.faults = FaultRegistry(stats=self.stats)
         self._cycle_running = False
         self._rules_suspended = False
+        self._closed = False
         self._in_transaction = False
         self._implicit_scope = False
         self._pnode_snapshots = None
@@ -285,10 +286,10 @@ class Database:
             quiesce=db.hooks.flush_tokens)
         try:
             db._apply_recovery(manager.pending_script,
-                               manager.pending_records)
+                               manager.pending_replay)
         finally:
             manager.pending_script = None
-            manager.pending_records = []
+            manager.pending_replay = []
         db._durability = manager
         db.hooks.journal = manager
         manager.maybe_checkpoint()
@@ -297,6 +298,7 @@ class Database:
     def checkpoint(self) -> None:
         """Force a checkpoint: dump the database, atomically swap it in
         and truncate the WAL.  Requires ``durable_path``."""
+        self._require_open()
         if self._durability is None:
             raise DurabilityError("database has no durable path")
         if self._in_transaction:
@@ -308,7 +310,16 @@ class Database:
 
     def close(self) -> None:
         """Flush and close the durable state (no-op when in-memory)
-        and shut down the propagation worker pool, if any."""
+        and shut down the propagation worker pool, if any.
+
+        The handle is unusable afterwards: executing commands — or
+        closing again — raises :class:`~repro.errors
+        .DatabaseClosedError` instead of failing deep inside the
+        durability layer on a closed WAL handle.  Pure introspection
+        (``relation_rows``, stats, the network) stays readable.
+        """
+        self._require_open()
+        self._closed = True
         d = self._durability
         if d is not None:
             if not d.crashed and d.degraded is None:
@@ -318,6 +329,15 @@ class Database:
             self._pool.close()
             self._pool = None
             self.manager.set_worker_pool(None)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise DatabaseClosedError("database is closed")
 
     # ------------------------------------------------------------------
     # sharded propagation
@@ -369,7 +389,7 @@ class Database:
             "fsync": d.fsync,
             "generation": d.wal.generation,
             "records": d.wal.data_records,
-            "pending": len(d._buffer),
+            "pending": d.pending_records,
             "checkpoint_every": d.checkpoint_every,
             "degraded": d.degraded,
         }
@@ -486,6 +506,7 @@ class Database:
         re-planning automatically when DDL has changed the catalog since
         the plan was built.
         """
+        self._require_open()
         cached = self.statement_cache.lookup(text)
         if cached is not None:
             return cached.execute_with(None)
@@ -504,6 +525,7 @@ class Database:
                            'where e.id = $id')
             p.execute(id=7)
         """
+        self._require_open()
         return Prepared(self, text)
 
     def execute_many(self, text: str, rows) -> list:
@@ -515,6 +537,7 @@ class Database:
 
     def execute_script(self, text: str) -> list:
         """Execute a sequence of commands; returns their results."""
+        self._require_open()
         results = []
         for command in parse_script(text):
             self.analyzer.analyze(command)
@@ -527,6 +550,34 @@ class Database:
         if not isinstance(result, ResultSet):
             raise ExecutionError("query() expects a retrieve command")
         return result
+
+    def execute_readonly(self, text: str) -> ResultSet:
+        """Execute a plain retrieve *without* entering the transition
+        machinery (no recovery scope, no token flush, no recognize-act
+        cycle — none of which a retrieve needs).
+
+        This is the serving layer's read path: because it never touches
+        the per-transition state (Δ-sets, agenda, cascade guard), many
+        reader threads may run it concurrently against a settled
+        database — the service's snapshot gate guarantees no transition
+        is in flight meanwhile.  Plans come from (and land in) the same
+        statement cache as :meth:`execute`.  Anything but a plain
+        retrieve is rejected: mutations must go through the serialized
+        write path.
+        """
+        self._require_open()
+        cached = self.statement_cache.lookup(text)
+        if cached is None:
+            command = self.analyzer.analyze(parse_command(text))
+            if not isinstance(command, ast.Retrieve) \
+                    or command.into is not None:
+                raise ExecutionError(
+                    "execute_readonly serves plain retrieve commands "
+                    "only; route mutations through execute()")
+            cached = Prepared(self, text, command=command)
+            if self.statement_cache.capacity > 0:
+                self.statement_cache.store(text, cached)
+        return cached.execute_readonly(None)
 
     def explain(self, text: str, analyze: bool = False) -> str:
         """The physical plan the optimizer picks for a data command.
@@ -543,6 +594,7 @@ class Database:
         never enter the statement cache: instrumentation wrappers must
         not leak into ordinary executions.
         """
+        self._require_open()
         if not analyze:
             cached = self.statement_cache.lookup(text)
             if cached is not None:
@@ -601,6 +653,7 @@ class Database:
 
     def begin(self) -> None:
         """Open a transaction: subsequent commands can be aborted."""
+        self._require_open()
         if self._in_transaction:
             raise TransactionError("transaction already open")
         self._require_writable("begin a transaction")
@@ -623,6 +676,7 @@ class Database:
         hit the WAL here, as one record at a sync boundary — nothing of
         an uncommitted transaction ever reaches the log.
         """
+        self._require_open()
         if not self._in_transaction:
             raise TransactionError("no open transaction")
         d = self._durability
@@ -644,6 +698,7 @@ class Database:
         and P-nodes stay consistent; rule firing is suppressed while the
         undo runs, and dynamic state is flushed afterwards.
         """
+        self._require_open()
         if not self._in_transaction:
             raise TransactionError("no open transaction")
         self._in_transaction = False
@@ -811,6 +866,7 @@ class Database:
     def _execute_planned(self, planned, params: dict[str, object] | None):
         """Run a cached plan as one transition (the prepared-statement
         execution path: no parse/analyze/plan work)."""
+        self._require_open()
         if not _read_only_command(planned.command):
             self._require_writable("execute a mutating command")
         with self._recovery_scope():
@@ -826,6 +882,7 @@ class Database:
         Δ-set through the discrimination network as a single batch (the
         set-oriented fast path; values are coerced like ``append``).
         Returns the number of tuples inserted."""
+        self._require_open()
         self._require_writable("bulk-append")
         with self._recovery_scope():
             tids = self.hooks.insert_many(relation, rows)

@@ -17,6 +17,9 @@ and the rule system.
     ├── RuleError             rule system
     │   └── RuleLoopError     recognize-act cascade guard
     ├── TransactionError      transaction / block misuse
+    ├── DatabaseClosedError   use of a closed database handle
+    ├── ServiceError          concurrent-serving layer (repro.serve)
+    │   └── SessionError      unknown / closed serving session
     └── DurabilityError       write-ahead log and checkpointing
         ├── WalCorruptError   unreadable / corrupt WAL record
         └── DegradedError     database degraded to read-only mode
@@ -95,6 +98,25 @@ class RuleLoopError(RuleError):
 class TransactionError(ArielError):
     """Raised for misuse of transactions or transition blocks (nested
     ``do ... end`` blocks, commit without begin, and similar)."""
+
+
+class DatabaseClosedError(ArielError):
+    """Raised on any use of a database after :meth:`repro.db.Database
+    .close` — including a second ``close()`` — so callers get a clear
+    lifecycle error instead of a failure deep inside the durability
+    layer writing to a closed WAL handle."""
+
+
+class ServiceError(ArielError):
+    """Base class for errors of the concurrent serving layer
+    (:mod:`repro.serve`): service shut down, malformed requests,
+    protocol violations."""
+
+
+class SessionError(ServiceError):
+    """Raised when a serving request names an unknown or already-closed
+    session, or a session-scoped resource (such as a prepared-statement
+    name) that does not exist."""
 
 
 class DurabilityError(ArielError):

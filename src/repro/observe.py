@@ -43,7 +43,16 @@ docs/ARCHITECTURE.md, "Observing the engine"):
                        checkpoints
 ``recovery.*``         WAL records replayed by ``Database.recover``
 ``faults.*``           injected faults (see :mod:`repro.faults`)
+``serve.*``            the concurrent serving layer (sessions opened /
+                       closed, snapshot reads, serialized writes,
+                       deferred ops, transaction denials)
 =====================  ==================================================
+
+Counter bumps are read-modify-write and therefore not atomic across
+threads.  Every engine-internal bump happens on the thread driving the
+transition (serialized by the serving layer's write queue); the
+serving layer's own concurrent reader threads bump only ``serve.*``
+keys, under the service's read lock.
 """
 
 from __future__ import annotations

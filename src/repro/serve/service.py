@@ -1,0 +1,448 @@
+"""The concurrent rule-evaluation service: one engine, many sessions.
+
+:class:`RuleService` wraps a single :class:`~repro.db.Database` behind
+two disciplines that together make concurrent serving *equivalent to a
+serial execution*:
+
+* **Serialized writes.**  Every mutating command — ad-hoc DML, DDL,
+  rule lifecycle, prepared-statement executions of append/delete/
+  replace, and transaction control — is submitted to a single-consumer
+  write queue.  One writer thread drains it, running each operation
+  through the ordinary ``Database`` entry points, so the recognize-act
+  cycle, the firing order, and the WAL's journal bytes are exactly
+  those of the same commands executed serially in queue order.  The
+  service records that order (:attr:`serial_log`), which is what the
+  concurrent-vs-serial equivalence property replays.
+* **Snapshot-isolated reads.**  Plain retrieves run concurrently on
+  the calling threads under the shared side of a
+  :class:`~repro.serve.session.SnapshotGate`; the writer takes the
+  exclusive side for the duration of each transition.  A reader
+  therefore only ever sees fully-settled transitions — never a
+  half-applied Δ-set, a mid-cascade agenda, or an uncommitted
+  transaction.
+
+**Transactions** are per-session and exclusive: ``begin`` hands the
+owning session the write gate until ``commit``/``abort``.  A second
+session's ``begin`` is *denied* with a clean
+:class:`~repro.errors.TransactionError` before the engine is touched
+(the engine-level guard would corrupt nothing either, but the denial
+must not depend on timing), other sessions' writes are deferred in
+arrival order until the transaction ends, and other sessions' reads
+wait on the gate — uncommitted state never escapes the owner.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from concurrent.futures import Future
+from queue import Empty, SimpleQueue
+
+from repro.db import Database
+from repro.errors import (
+    ExecutionError, ServiceError, SessionError, TransactionError)
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse_command
+from repro.serve.session import Session, SnapshotGate
+
+#: sentinel draining the writer thread
+_STOP = object()
+
+#: default seconds a caller waits for the writer before giving up
+DEFAULT_TIMEOUT = 30.0
+
+
+class _WriteOp:
+    """One queued write: what to run, for whom, and where the caller
+    waits for the outcome."""
+
+    __slots__ = ("kind", "session", "payload", "future")
+
+    def __init__(self, kind: str, session: Session, payload):
+        self.kind = kind
+        self.session = session
+        self.payload = payload
+        self.future: Future = Future()
+
+
+def _is_plain_retrieve(command: ast.Command) -> bool:
+    return isinstance(command, ast.Retrieve) and command.into is None
+
+
+class RuleService:
+    """Serve one database to many concurrent sessions.
+
+    Parameters
+    ----------
+    db:
+        The database to serve.  When None, one is created from
+        ``database_kwargs``.  The service takes ownership either way:
+        :meth:`shutdown` with ``close_db=True`` closes it.
+    timeout:
+        Default seconds a submitting thread waits for the write queue
+        before raising :class:`~repro.errors.ServiceError` (a write
+        stuck behind a long transaction is surfaced, not hung).
+    """
+
+    def __init__(self, db: Database | None = None,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 **database_kwargs):
+        self.db = db if db is not None else Database(**database_kwargs)
+        self.timeout = timeout
+        self.gate = SnapshotGate()
+        self._queue: SimpleQueue = SimpleQueue()
+        self._sessions: dict[int, Session] = {}
+        self._session_lock = threading.Lock()
+        self._session_ids = itertools.count(1)
+        self._read_lock = threading.Lock()
+        self._txn_owner: Session | None = None
+        self._stopped = False
+        #: the committed serial order of every write operation, as
+        #: replayable entries — ``("execute", text)``,
+        #: ``("exec", text, params)``, ``("begin",)``, ``("commit",)``,
+        #: ``("abort",)``.  Replaying these serially on a fresh
+        #: database reproduces P-nodes, firing order and WAL bytes.
+        self.serial_log: list[tuple] = []
+        self._writer = threading.Thread(
+            target=self._drain, name="repro-serve-writer", daemon=True)
+        self._writer.start()
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+    # ------------------------------------------------------------------
+
+    def open_session(self) -> Session:
+        """Open a new session (cheap; one dict entry)."""
+        self._require_running()
+        with self._session_lock:
+            session = Session(self, next(self._session_ids))
+            self._sessions[session.id] = session
+        self.db.stats.bump("serve.sessions_opened")
+        return session
+
+    def close_session(self, session: Session) -> None:
+        """Close a session, aborting its open transaction if any."""
+        if session.closed:
+            return
+        if session.in_transaction and not self._stopped:
+            try:
+                self.abort(session)
+            except (TransactionError, ServiceError):
+                pass
+        session.closed = True
+        with self._session_lock:
+            self._sessions.pop(session.id, None)
+        self.db.stats.bump("serve.sessions_closed")
+
+    def session(self, session_id: int) -> Session:
+        """Look a session up by id (the socket front end's handle)."""
+        with self._session_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"no open session {session_id}")
+        return session
+
+    def session_count(self) -> int:
+        with self._session_lock:
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
+    # dispatch: read path vs write queue
+    # ------------------------------------------------------------------
+
+    def execute(self, session: Session, text: str):
+        """Execute one command for ``session``.
+
+        A plain retrieve outside a transaction takes the concurrent
+        read path; everything else — and *all* commands of the
+        transaction owner, whose uncommitted state only the writer
+        thread may see — is serialized through the write queue.
+        """
+        session._require_open()
+        command = parse_command(text)
+        if _is_plain_retrieve(command) and not session.in_transaction:
+            return self._read(session,
+                              lambda: self.db.execute_readonly(text))
+        return self._submit(_WriteOp("execute", session, text))
+
+    def query(self, session: Session, text: str):
+        """Execute a retrieve on the snapshot-isolated read path."""
+        session._require_open()
+        if session.in_transaction:
+            return self._submit(_WriteOp("execute", session, text))
+        return self._read(session,
+                          lambda: self.db.execute_readonly(text))
+
+    def prepare(self, session: Session, name: str,
+                text: str) -> tuple[str, ...]:
+        """Prepare ``text`` under ``name`` in the session's namespace.
+
+        Planning reads the catalog, so it is serialized through the
+        write queue (racing a concurrent DDL would plan against a
+        half-updated catalog); returns the parameter signature.
+        """
+        session._require_open()
+        prepared = self._submit(_WriteOp("prepare", session,
+                                         (name, text)))
+        return prepared.signature
+
+    def execute_prepared(self, session: Session, name: str,
+                         params: dict | None = None):
+        """Execute the session's prepared statement ``name``.
+
+        Read-only statements run concurrently under the snapshot gate;
+        mutating ones are serialized through the write queue.
+        """
+        session._require_open()
+        prepared = session.prepared_statement(name)
+        if prepared.read_only and not session.in_transaction:
+            return self._read(
+                session, lambda: prepared.execute_readonly(params))
+        return self._submit(_WriteOp("exec", session, (name, params)))
+
+    def begin(self, session: Session) -> None:
+        session._require_open()
+        self._submit(_WriteOp("begin", session, None))
+
+    def commit(self, session: Session) -> None:
+        session._require_open()
+        self._submit(_WriteOp("commit", session, None))
+
+    def abort(self, session: Session) -> None:
+        session._require_open()
+        self._submit(_WriteOp("abort", session, None))
+
+    # ------------------------------------------------------------------
+
+    def _read(self, session: Session, thunk):
+        self._require_running()
+        with self.gate.read():
+            result = thunk()
+        # EngineStats bumps are read-modify-write; reader threads must
+        # not interleave them (the writer thread's bumps happen under
+        # the exclusive gate, so they cannot race this lock's holders).
+        with self._read_lock:
+            session.reads += 1
+            self.db.stats.bump("serve.reads")
+        return result
+
+    def _submit(self, op: _WriteOp):
+        self._require_running()
+        self._queue.put(op)
+        try:
+            return op.future.result(timeout=self.timeout)
+        except TimeoutError:
+            op.future.cancel()
+            raise ServiceError(
+                f"write queue did not serve the {op.kind!r} operation "
+                f"within {self.timeout:.0f}s (a long-running "
+                f"transaction may be holding the gate)") from None
+
+    def _require_running(self) -> None:
+        if self._stopped:
+            raise ServiceError("service is shut down")
+
+    # ------------------------------------------------------------------
+    # the single consumer
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        """The writer thread: one op at a time, in queue order, each
+        under the exclusive side of the snapshot gate.
+
+        While a transaction is open, ops from other sessions are
+        deferred (in arrival order) rather than interleaved — the gate
+        stays with the owner from ``begin`` to ``commit``/``abort``.
+        """
+        deferred: deque[_WriteOp] = deque()
+        while True:
+            if deferred and self._txn_owner is None:
+                op = deferred.popleft()
+            else:
+                op = self._queue.get()
+            if op is _STOP:
+                break
+            if self._txn_owner is not None \
+                    and op.session is not self._txn_owner \
+                    and op.kind != "begin":
+                deferred.append(op)
+                self.db.stats.bump("serve.deferred_ops")
+                continue
+            self._run_op(op)
+        for op in deferred:
+            self._fail(op, ServiceError("service is shut down"))
+        while True:
+            try:
+                op = self._queue.get_nowait()
+            except Empty:
+                break
+            if op is not _STOP:
+                self._fail(op, ServiceError("service is shut down"))
+
+    @staticmethod
+    def _fail(op: _WriteOp, exc: Exception) -> None:
+        if op.future.set_running_or_notify_cancel():
+            op.future.set_exception(exc)
+
+    def _run_op(self, op: _WriteOp) -> None:
+        # Moving the future to RUNNING first means a timed-out caller's
+        # cancel() can no longer race the result delivery below; a
+        # False return means the caller already gave up — the op is
+        # skipped entirely, never half-applied.
+        if not op.future.set_running_or_notify_cancel():
+            return
+        try:
+            result = self._apply(op)
+        except BaseException as exc:
+            op.future.set_exception(exc)
+        else:
+            op.future.set_result(result)
+
+    def _apply(self, op: _WriteOp):
+        """Run one write op against the engine, managing gate tenure.
+
+        Outside a transaction the gate is held for exactly this op;
+        ``begin`` keeps it until the matching ``commit``/``abort``.
+        """
+        owner = self._txn_owner
+        if op.kind == "begin":
+            if owner is not None:
+                self.db.stats.bump("serve.txn_denied")
+                whose = ("this session" if owner is op.session
+                         else f"session {owner.id}")
+                raise TransactionError(
+                    f"transaction already open by {whose}")
+            self.gate.acquire_write()
+            try:
+                self.db.begin()
+            except BaseException:
+                self.gate.release_write()
+                raise
+            self.serial_log.append(("begin",))
+            self._txn_owner = op.session
+            op.session.in_transaction = True
+            return None
+        holding = owner is op.session
+        if not holding:
+            self.gate.acquire_write()
+        try:
+            return self._apply_command(op)
+        finally:
+            still_open = self.db._in_transaction
+            if self._txn_owner is op.session and not still_open:
+                self._txn_owner = None
+                op.session.in_transaction = False
+                self.gate.release_write()
+            elif not holding and self._txn_owner is not op.session:
+                self.gate.release_write()
+
+    def _apply_command(self, op: _WriteOp):
+        db = self.db
+        with self._read_lock:
+            op.session.writes += 1
+        db.stats.bump("serve.writes")
+        if op.kind == "execute":
+            self.serial_log.append(("execute", op.payload))
+            return db.execute(op.payload)
+        if op.kind == "exec":
+            name, params = op.payload
+            prepared = op.session.prepared_statement(name)
+            self.serial_log.append(("exec", prepared.text,
+                                    dict(params or {})))
+            return prepared.execute_with(params)
+        if op.kind == "prepare":
+            name, text = op.payload
+            prepared = db.prepare(text)
+            op.session.prepared[name] = prepared
+            return prepared
+        if op.kind == "commit":
+            self.serial_log.append(("commit",))
+            db.commit()
+            return None
+        if op.kind == "abort":
+            self.serial_log.append(("abort",))
+            db.abort()
+            return None
+        raise ServiceError(f"unknown write operation {op.kind!r}")
+
+    # ------------------------------------------------------------------
+    # status and lifecycle
+    # ------------------------------------------------------------------
+
+    def status(self) -> dict:
+        """A JSON-safe snapshot for the front end's status endpoint."""
+        db = self.db
+        with self._session_lock:
+            sessions = len(self._sessions)
+        owner = self._txn_owner
+        return {
+            "sessions": sessions,
+            "transaction_owner": owner.id if owner else None,
+            "queue_depth": self._queue.qsize(),
+            "serial_log_entries": len(self.serial_log),
+            "gate": self.gate.snapshot(),
+            "firings": db.firings,
+            "degraded": db.degraded,
+            "wal": db.wal_info(),
+            "stopped": self._stopped,
+        }
+
+    def serial_history(self) -> list[tuple]:
+        """A copy of the committed write order (see
+        :func:`replay_serial`)."""
+        return list(self.serial_log)
+
+    def shutdown(self, close_db: bool = False,
+                 timeout: float = 10.0) -> None:
+        """Stop accepting work, drain the writer thread, and fail any
+        still-queued operations; idempotent."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._queue.put(_STOP)
+        self._writer.join(timeout=timeout)
+        if close_db and not self.db.closed:
+            self.db.close()
+
+    def __enter__(self) -> RuleService:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def replay_serial(db: Database, history: list[tuple]) -> None:
+    """Replay a service's :attr:`~RuleService.serial_log` on ``db``.
+
+    This is the serial half of the concurrent-vs-serial equivalence
+    property: a fresh database that replays the history must end with
+    identical P-node contents, firing order and WAL bytes.  Errors of
+    individual commands are swallowed exactly as the service surfaced
+    them to one client without stopping the others.
+    """
+    from repro.errors import ArielError
+
+    prepared_cache: dict[str, object] = {}
+    for entry in history:
+        try:
+            if entry[0] == "execute":
+                db.execute(entry[1])
+            elif entry[0] == "exec":
+                prepared = prepared_cache.get(entry[1])
+                if prepared is None:
+                    prepared = db.prepare(entry[1])
+                    prepared_cache[entry[1]] = prepared
+                prepared.execute_with(entry[2] or None)
+            elif entry[0] == "begin":
+                db.begin()
+            elif entry[0] == "commit":
+                db.commit()
+            elif entry[0] == "abort":
+                db.abort()
+            else:
+                raise ExecutionError(
+                    f"unknown serial-log entry {entry[0]!r}")
+        except ArielError:
+            # the live run surfaced this to one client and carried on
+            continue

@@ -1,0 +1,176 @@
+"""Serving sessions and the transition-granular snapshot gate.
+
+The engine's consistency unit is the *settled transition*: after the
+transition hooks flush, the Δ-sets clear and the recognize-act cycle
+runs to quiescence, the heap, α-memories, P-nodes and WAL all agree.
+:class:`SnapshotGate` turns that boundary into an isolation level for
+concurrent readers: any number of read sessions may run between
+transitions, and the single writer thread excludes them for exactly
+the duration of one transition (or one explicit transaction), so a
+reader can never observe a half-applied Δ-set or a mid-cascade agenda.
+
+:class:`Session` is one client's handle on the
+:class:`~repro.serve.service.RuleService`: it carries the client's
+named prepared statements and its transaction state.  All methods
+delegate to the service, which decides per command whether it takes
+the concurrent read path or the serialized write queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+from repro.errors import SessionError
+
+
+class SnapshotGate:
+    """A readers-writer gate at transition granularity.
+
+    Readers share; the writer excludes.  Writer-preferring: once the
+    write queue wants the gate, new readers wait, so a stream of
+    retrieves cannot starve mutations.  The writer side is only ever
+    taken by the service's single consumer thread, which may hold it
+    across many operations (an explicit transaction).
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def snapshot(self) -> dict:
+        """Gate occupancy (diagnostics for the status endpoint)."""
+        with self._cond:
+            return {"readers": self._readers,
+                    "writer": self._writer,
+                    "writers_waiting": self._writers_waiting}
+
+
+class Session:
+    """One client's handle on a :class:`~repro.serve.service
+    .RuleService`.
+
+    Sessions are cheap (a dict of prepared statements plus flags) and
+    single-client by convention: the service serializes all mutations
+    anyway, but a session's prepared-statement namespace and
+    transaction state are not meant to be shared between threads.
+    """
+
+    def __init__(self, service, session_id: int):
+        self.service = service
+        self.id = session_id
+        #: client-named prepared statements (name -> Prepared)
+        self.prepared: dict = {}
+        #: this session holds the service's open transaction
+        self.in_transaction = False
+        self.closed = False
+        #: diagnostics: operations served on each path
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    # delegation — the service decides read path vs write queue
+    # ------------------------------------------------------------------
+
+    def execute(self, text: str):
+        """Execute one command (read path for plain retrieves, the
+        serialized write queue for everything else)."""
+        return self.service.execute(self, text)
+
+    def query(self, text: str):
+        """Execute a retrieve on the snapshot-isolated read path."""
+        return self.service.query(self, text)
+
+    def prepare(self, name: str, text: str):
+        """Prepare ``text`` under a session-scoped name; returns the
+        parameter signature."""
+        return self.service.prepare(self, name, text)
+
+    def execute_prepared(self, name: str,
+                         params: dict | None = None):
+        """Execute a prepared statement by its session-scoped name."""
+        return self.service.execute_prepared(self, name, params)
+
+    def begin(self) -> None:
+        self.service.begin(self)
+
+    def commit(self) -> None:
+        self.service.commit(self)
+
+    def abort(self) -> None:
+        self.service.abort(self)
+
+    def close(self) -> None:
+        self.service.close_session(self)
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SessionError(f"session {self.id} is closed")
+
+    def prepared_statement(self, name: str):
+        """The session's prepared statement ``name`` (or raise)."""
+        prepared = self.prepared.get(name)
+        if prepared is None:
+            known = ", ".join(sorted(self.prepared)) or "none"
+            raise SessionError(
+                f"session {self.id} has no prepared statement "
+                f"{name!r} (prepared: {known})")
+        return prepared
+
+    def __enter__(self) -> Session:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self.closed:
+            self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else (
+            "in-transaction" if self.in_transaction else "open")
+        return (f"Session(id={self.id}, {state}, "
+                f"{len(self.prepared)} prepared)")

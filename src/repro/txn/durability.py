@@ -54,7 +54,7 @@ class DurabilityManager:
     that already holds state — that is :meth:`repro.db.Database.recover`
     territory); ``mode="recover"`` analyzes the directory and leaves
     the checkpoint script and the WAL's surviving records in
-    :attr:`pending_script` / :attr:`pending_records` for the database
+    :attr:`pending_script` / :attr:`pending_replay` for the database
     to replay before it attaches the manager.
     """
 
@@ -89,11 +89,20 @@ class DurabilityManager:
                                 retry_backoff=retry_backoff, sleep=sleep)
         self.wal = WriteAheadLog(self.wal_path, **self._wal_kwargs)
         self.pending_script: str | None = None
-        self.pending_records: list = []
+        self.pending_replay: list = []
         if mode == "fresh":
             self._start_fresh()
         else:
-            self.pending_script, self.pending_records = self._analyze()
+            self.pending_script, self.pending_replay = self._analyze()
+
+    @property
+    def pending_records(self) -> int:
+        """Journal entries buffered ahead of the next durable boundary.
+
+        The supported status surface for callers (``Database.wal_info``,
+        the serving status endpoint) — the buffer itself is private.
+        """
+        return len(self._buffer)
 
     # ------------------------------------------------------------------
     # startup

@@ -1,0 +1,357 @@
+"""The serving layer, in process: sessions, the snapshot gate, the
+serialized write queue, per-session transaction gating — plus the
+thread-safety regression sweep this layer forced (statement-cache
+locking, Database close idempotence, the wal_info pending accessor).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro import (
+    Database, DatabaseClosedError, ServiceError, SessionError,
+    TransactionError)
+from repro.prepared import Prepared, StatementCache
+from repro.serve import RuleService, SnapshotGate
+
+
+def _service():
+    svc = RuleService()
+    svc.db.execute("create emp (id = int4, name = text, sal = float8)")
+    svc.db.execute("create audit (tag = text, who = text)")
+    svc.db.execute(
+        'define rule watch on replace emp if emp.sal > 100.0 '
+        'then append to audit(tag = "high", who = emp.name)')
+    svc.db.execute('append emp(id = 1, name = "a", sal = 50.0)')
+    svc.db.execute('append emp(id = 2, name = "b", sal = 60.0)')
+    return svc
+
+
+# ----------------------------------------------------------------------
+# sessions and the read/write split
+# ----------------------------------------------------------------------
+
+def test_sessions_share_one_database():
+    with _service() as svc:
+        s1, s2 = svc.open_session(), svc.open_session()
+        s1.execute('append emp(id = 3, name = "c", sal = 70.0)')
+        rows = s2.query("retrieve (e.name) from e in emp").rows
+        assert sorted(rows) == [("a",), ("b",), ("c",)]
+        assert s1.id != s2.id
+        assert svc.status()["sessions"] == 2
+
+
+def test_reads_take_the_read_path_writes_the_queue():
+    with _service() as svc:
+        session = svc.open_session()
+        session.query("retrieve (e.name) from e in emp")
+        session.execute('append emp(id = 3, name = "c", sal = 1.0)')
+        assert session.reads == 1
+        assert session.writes == 1
+        assert svc.db.stats.get("serve.reads") == 1
+        assert svc.db.stats.get("serve.writes") == 1
+
+
+def test_mutation_via_execute_still_fires_rules():
+    with _service() as svc:
+        session = svc.open_session()
+        session.execute(
+            "replace e (sal = 200.0) from e in emp where e.id = 1")
+        assert session.query(
+            "retrieve (a.who) from a in audit").rows == [("a",)]
+
+
+def test_prepared_statements_are_per_session():
+    with _service() as svc:
+        s1, s2 = svc.open_session(), svc.open_session()
+        sig = s1.prepare("by_id",
+                         "retrieve (e.name) from e in emp "
+                         "where e.id = $id")
+        assert sig == ("id",)
+        assert s1.execute_prepared(
+            "by_id", {"id": 2}).rows == [("b",)]
+        with pytest.raises(SessionError, match="by_id"):
+            s2.execute_prepared("by_id", {"id": 2})
+
+
+def test_closed_session_rejects_work():
+    with _service() as svc:
+        session = svc.open_session()
+        svc.close_session(session)
+        assert session.closed
+        with pytest.raises(SessionError):
+            session.query("retrieve (e.name) from e in emp")
+        # closing again is a no-op
+        svc.close_session(session)
+        assert svc.status()["sessions"] == 0
+
+
+# ----------------------------------------------------------------------
+# transaction gating
+# ----------------------------------------------------------------------
+
+def test_second_begin_is_denied_cleanly():
+    with _service() as svc:
+        s1, s2 = svc.open_session(), svc.open_session()
+        s1.begin()
+        with pytest.raises(TransactionError,
+                           match=r"already open by session \d+"):
+            s2.begin()
+        # the denial corrupted nothing: s1's txn proceeds normally
+        s1.execute('append emp(id = 3, name = "c", sal = 1.0)')
+        s1.commit()
+        assert svc.db.stats.get("serve.txn_denied") == 1
+        assert len(s2.query(
+            "retrieve (e.name) from e in emp").rows) == 3
+
+
+def test_own_begin_twice_is_denied_too():
+    with _service() as svc:
+        session = svc.open_session()
+        session.begin()
+        with pytest.raises(TransactionError,
+                           match="already open by this session"):
+            session.begin()
+        session.abort()
+        assert not session.in_transaction
+
+
+def test_other_sessions_writes_defer_until_commit():
+    with _service() as svc:
+        s1, s2 = svc.open_session(), svc.open_session()
+        s1.begin()
+        s1.execute('append emp(id = 3, name = "c", sal = 1.0)')
+
+        done = threading.Event()
+
+        def deferred_write():
+            s2.execute('append emp(id = 4, name = "d", sal = 2.0)')
+            done.set()
+
+        thread = threading.Thread(target=deferred_write, daemon=True)
+        thread.start()
+        # s2's write waits while the transaction is open
+        assert not done.wait(0.3)
+        s1.commit()
+        assert done.wait(5.0)
+        thread.join(timeout=5.0)
+        assert len(s1.query(
+            "retrieve (e.name) from e in emp").rows) == 4
+        # the deferral was observed by the service
+        assert svc.db.stats.get("serve.deferred_ops") >= 1
+
+
+def test_abort_rolls_back_and_releases_the_gate():
+    with _service() as svc:
+        s1, s2 = svc.open_session(), svc.open_session()
+        s1.begin()
+        s1.execute('append emp(id = 3, name = "c", sal = 1.0)')
+        s1.abort()
+        assert len(s2.query(
+            "retrieve (e.name) from e in emp").rows) == 2
+        # gate is free again: another session can begin now
+        s2.begin()
+        s2.abort()
+
+
+def test_closing_a_session_aborts_its_open_transaction():
+    with _service() as svc:
+        s1, s2 = svc.open_session(), svc.open_session()
+        s1.begin()
+        s1.execute('append emp(id = 3, name = "c", sal = 1.0)')
+        svc.close_session(s1)
+        assert len(s2.query(
+            "retrieve (e.name) from e in emp").rows) == 2
+        s2.begin()          # the gate was released
+        s2.abort()
+
+
+def test_owner_reads_its_own_uncommitted_state():
+    with _service() as svc:
+        session = svc.open_session()
+        session.begin()
+        session.execute('append emp(id = 3, name = "c", sal = 1.0)')
+        # routed through the write queue, sees the open transaction
+        assert len(session.query(
+            "retrieve (e.name) from e in emp").rows) == 3
+        session.commit()
+
+
+def test_serial_history_records_committed_order():
+    with _service() as svc:
+        session = svc.open_session()
+        session.execute('append emp(id = 3, name = "c", sal = 1.0)')
+        session.begin()
+        session.execute("delete e from e in emp where e.id = 3")
+        session.commit()
+        history = svc.serial_history()
+        assert [entry[0] for entry in history] == \
+            ["execute", "begin", "execute", "commit"]
+
+
+def test_shutdown_fails_pending_work_and_is_idempotent():
+    with _service() as svc:
+        session = svc.open_session()
+        svc.shutdown()
+        svc.shutdown()      # idempotent
+        with pytest.raises(ServiceError):
+            svc.execute(session, 'append emp(id = 9, name = "z", '
+                                 'sal = 1.0)')
+        assert svc.status()["stopped"]
+
+
+# ----------------------------------------------------------------------
+# the snapshot gate itself
+# ----------------------------------------------------------------------
+
+def test_gate_readers_share_writers_exclude():
+    gate = SnapshotGate()
+    gate.acquire_read()
+    gate.acquire_read()         # readers share
+    acquired = threading.Event()
+
+    def writer():
+        with gate.write():
+            acquired.set()
+
+    thread = threading.Thread(target=writer, daemon=True)
+    thread.start()
+    assert not acquired.wait(0.2)
+    gate.release_read()
+    assert not acquired.wait(0.2)   # one reader still holds it
+    gate.release_read()
+    assert acquired.wait(5.0)
+    thread.join(timeout=5.0)
+
+
+def test_gate_is_writer_preferring():
+    gate = SnapshotGate()
+    gate.acquire_read()
+    started = threading.Event()
+    writer_done = threading.Event()
+    late_read_done = threading.Event()
+
+    def writer():
+        started.set()
+        with gate.write():
+            writer_done.set()
+
+    def late_reader():
+        with gate.read():
+            late_read_done.set()
+
+    w = threading.Thread(target=writer, daemon=True)
+    w.start()
+    started.wait(5.0)
+    time.sleep(0.1)             # let the writer queue up
+    r = threading.Thread(target=late_reader, daemon=True)
+    r.start()
+    # a reader arriving behind a waiting writer must wait too
+    assert not late_read_done.wait(0.2)
+    gate.release_read()
+    assert writer_done.wait(5.0)
+    assert late_read_done.wait(5.0)
+    w.join(timeout=5.0)
+    r.join(timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# regression: StatementCache under concurrent lookup/store
+# ----------------------------------------------------------------------
+
+def test_statement_cache_survives_concurrent_hammering():
+    """Reader threads hammering lookup() while others store() must not
+    corrupt the OrderedDict recency list (pre-fix: KeyError out of
+    move_to_end, or RuntimeError from mutation during eviction)."""
+    db = Database()
+    db.execute("create t (a = int4)")
+    cache = StatementCache(capacity=8)
+    texts = [f"retrieve (x.a) from x in t where x.a > {i}"
+             for i in range(32)]
+    prepared = {text: Prepared(db, text) for text in texts}
+    stop = time.monotonic() + 1.0
+    failures = []
+
+    def worker(seed):
+        i = seed
+        try:
+            while time.monotonic() < stop:
+                i += 1
+                text = texts[(i * 7 + seed) % len(texts)]
+                if (i + seed) % 3 == 0:
+                    cache.store(text, prepared[text])
+                else:
+                    entry = cache.lookup(text)
+                    assert entry is None or entry.text == text
+        except Exception as exc:   # pragma: no cover - the regression
+            failures.append(f"{type(exc).__name__}: {exc}")
+
+    threads = [threading.Thread(target=worker, args=(n,), daemon=True)
+               for n in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not failures
+    assert len(cache) <= 8
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# regression: Database.close() idempotence
+# ----------------------------------------------------------------------
+
+def test_double_close_raises_database_closed_error(tmp_path):
+    db = Database(durable_path=tmp_path / "d", fsync="never")
+    db.execute("create t (a = int4)")
+    db.close()
+    assert db.closed
+    with pytest.raises(DatabaseClosedError):
+        db.close()
+
+
+def test_execute_after_close_raises_clearly():
+    db = Database()
+    db.execute("create t (a = int4)")
+    db.close()
+    for call in (
+            lambda: db.execute("append t(a = 1)"),
+            lambda: db.query("retrieve (x.a) from x in t"),
+            lambda: db.execute_readonly("retrieve (x.a) from x in t"),
+            lambda: db.prepare("retrieve (x.a) from x in t"),
+            lambda: db.begin(),
+            lambda: db.checkpoint()):
+        with pytest.raises(DatabaseClosedError, match="closed"):
+            call()
+
+
+def test_introspection_still_works_after_close():
+    # the equivalence suites snapshot P-nodes after close(); keep that
+    db = Database()
+    db.execute("create t (a = int4)")
+    db.execute("append t(a = 1)")
+    db.close()
+    assert db.relation_rows("t") == [(1,)]
+
+
+# ----------------------------------------------------------------------
+# regression: wal_info uses the public pending_records property
+# ----------------------------------------------------------------------
+
+def test_wal_info_pending_matches_public_property(tmp_path):
+    db = Database(durable_path=tmp_path / "d", fsync="never")
+    db.execute("create t (a = int4)")
+    durability = db._durability
+    assert db.wal_info()["pending"] == 0
+    assert durability.pending_records == 0
+    # mid-transition the journal buffer is non-empty; the accessor
+    # reports it without wal_info() reaching into _buffer
+    durability.journal_insert("t", (1,))
+    assert durability.pending_records == 1
+    assert db.wal_info()["pending"] == 1
+    durability.flush_boundary(sync=False)
+    assert durability.pending_records == 0
+    assert db.wal_info()["pending"] == 0
+    db.execute("append t(a = 1)")   # matches the journaled record
+    db.close()
